@@ -1,0 +1,96 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-table1] [-fig1] [-fig12] [-fig13] [-fig14] [-all]
+//	            [-benchmarks gzip,mcf,...] [-quick]
+//	            [-warmup N] [-measure N] [-interval N]
+//
+// With no figure flags, -all is assumed.  Output is the row data of each
+// figure in the shape the paper plots (suite-average reductions of the
+// temperature rise over ambient plus slowdowns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table 1 (processor configuration)")
+		fig1   = flag.Bool("fig1", false, "run Figure 1 (baseline temperature landscape)")
+		fig12  = flag.Bool("fig12", false, "run Figure 12 (distributed rename and commit)")
+		fig13  = flag.Bool("fig13", false, "run Figure 13 (thermal-aware trace cache)")
+		fig14  = flag.Bool("fig14", false, "run Figure 14 (combined distributed frontend)")
+		all    = flag.Bool("all", false, "run everything")
+
+		benchList = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 26)")
+		quick     = flag.Bool("quick", false, "6-benchmark subset at reduced length")
+		warmup    = flag.Uint64("warmup", 0, "override warmup micro-ops")
+		measure   = flag.Uint64("measure", 0, "override measured micro-ops")
+		interval  = flag.Uint64("interval", 0, "override interval cycles")
+	)
+	flag.Parse()
+
+	if !*table1 && !*fig1 && !*fig12 && !*fig13 && !*fig14 {
+		*all = true
+	}
+	if *all {
+		*table1, *fig1, *fig12, *fig13, *fig14 = true, true, true, true, true
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *benchList != "" {
+		opt.Benchmarks = strings.Split(*benchList, ",")
+	}
+	if *warmup > 0 {
+		opt.Sim.WarmupOps = *warmup
+	}
+	if *measure > 0 {
+		opt.Sim.MeasureOps = *measure
+	}
+	if *interval > 0 {
+		opt.Sim.IntervalCycles = *interval
+	}
+
+	out := os.Stdout
+	progress := os.Stderr
+	fmt.Fprintf(progress, "suite: %s\n", strings.Join(experiments.SuiteNames(opt), " "))
+
+	if *table1 {
+		experiments.Banner(out, "Table 1")
+		experiments.Table1(out)
+	}
+	if *fig1 {
+		experiments.Banner(out, "Figure 1")
+		fmt.Fprint(progress, "figure 1:")
+		r := experiments.Figure1(opt, progress)
+		r.Print(out)
+	}
+	if *fig12 {
+		experiments.Banner(out, "Figure 12")
+		fmt.Fprint(progress, "figure 12:")
+		rows := experiments.Figure12(opt, progress)
+		experiments.PrintRows(out, "Figure 12. Reduction of temperature for the distributed renaming and commit", rows)
+	}
+	if *fig13 {
+		experiments.Banner(out, "Figure 13")
+		fmt.Fprint(progress, "figure 13:")
+		rows := experiments.Figure13(opt, progress)
+		experiments.PrintRows(out, "Figure 13. Sub-banked trace cache temperature improvements", rows)
+	}
+	if *fig14 {
+		experiments.Banner(out, "Figure 14")
+		fmt.Fprint(progress, "figure 14:")
+		rows := experiments.Figure14(opt, progress)
+		experiments.PrintRows(out, "Figure 14. Overall temperature results for the distributed frontend", rows)
+	}
+}

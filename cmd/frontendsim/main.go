@@ -1,0 +1,109 @@
+// Command frontendsim runs a single configuration on a single benchmark
+// and reports pipeline, power and temperature results.
+//
+// Usage:
+//
+//	frontendsim [-bench gzip] [-distributed] [-hopping] [-biased] [-blank]
+//	            [-warmup N] [-measure N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/floorplan"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench       = flag.String("bench", "gzip", "benchmark name (one of the 26 SPEC2000 profiles)")
+		distributed = flag.Bool("distributed", false, "distributed rename and commit (2 frontends)")
+		hopping     = flag.Bool("hopping", false, "trace-cache bank hopping")
+		biased      = flag.Bool("biased", false, "thermal-aware biased bank mapping")
+		blank       = flag.Bool("blank", false, "blank-silicon comparison configuration")
+		warmup      = flag.Uint64("warmup", 120_000, "warmup micro-ops")
+		measure     = flag.Uint64("measure", 300_000, "measured micro-ops")
+		verbose     = flag.Bool("v", false, "per-block power/temperature dump")
+	)
+	flag.Parse()
+
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q; available: %v\n", *bench, workload.Names())
+		os.Exit(1)
+	}
+	cfg := core.DefaultConfig()
+	if *distributed {
+		cfg = cfg.WithDistributedFrontend(2)
+	}
+	if *hopping {
+		cfg = cfg.WithBankHopping()
+	}
+	if *biased {
+		cfg = cfg.WithBiasedMapping()
+	}
+	if *blank {
+		if *hopping {
+			fmt.Fprintln(os.Stderr, "-blank and -hopping are mutually exclusive")
+			os.Exit(1)
+		}
+		cfg = cfg.WithBlankSilicon()
+	}
+
+	opt := sim.DefaultOptions()
+	opt.WarmupOps = *warmup
+	opt.MeasureOps = *measure
+	r := sim.Run(cfg, prof, opt)
+
+	fmt.Printf("benchmark      %s\n", r.Bench)
+	fmt.Printf("configuration  frontends=%d tcBanks=%d hopping=%v biased=%v staticGate=%d\n",
+		cfg.Frontends, cfg.TC.Banks, cfg.TC.Hopping, cfg.TC.Biased, cfg.TC.StaticGate)
+	fmt.Printf("measured       %d µops in %d cycles (IPC %.3f)\n", r.MeasOps, r.MeasCycles, r.IPC())
+	fmt.Printf("trace cache    hit rate %.4f, hops %d\n", r.TCHitRate, r.TCHops)
+	fmt.Printf("mispredicts    %d, copies %d (cross-frontend %d)\n",
+		r.Stats.Mispredicts, r.Stats.Copies, r.Stats.CrossFrontend)
+
+	units := []struct {
+		name   string
+		filter func(string) bool
+	}{
+		{"Processor", nil},
+		{"Frontend", floorplan.IsFrontend},
+		{"Backend", floorplan.IsBackend},
+		{"UL2", func(n string) bool { return n == floorplan.UL2 }},
+		{"ROB", floorplan.IsROB},
+		{"RAT", floorplan.IsRAT},
+		{"TraceCache", floorplan.IsTraceCache},
+	}
+	fmt.Printf("\n%-11s %8s %8s %8s   (rise over %.0f°C ambient)\n",
+		"unit", "AbsMax", "Average", "AvgMax", r.Temps.Ambient())
+	for _, u := range units {
+		tr := r.Temps.Unit(u.filter)
+		fmt.Printf("%-11s %8.1f %8.1f %8.1f\n", u.name, tr.AbsMax, tr.Average, tr.AvgMax)
+	}
+
+	if *verbose {
+		experiments.Banner(os.Stdout, "per-block detail")
+		type row struct {
+			name  string
+			power float64
+			peak  float64
+		}
+		var rows []row
+		for i, b := range r.Floorplan.Blocks {
+			name := b.Name
+			rows = append(rows, row{name, r.AvgPower[i],
+				r.Temps.AbsMax(func(n string) bool { return n == name })})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].peak > rows[j].peak })
+		for _, rw := range rows {
+			fmt.Printf("%-9s %7.2f W   peak rise %6.1f\n", rw.name, rw.power, rw.peak)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Command tempmap renders the floorplans of Figures 10 and 11 as ASCII
+// maps, optionally annotated with steady-state block temperatures from a
+// short simulation.
+//
+// Usage:
+//
+//	tempmap [-layout baseline|hopping|distributed|combined] [-temps] [-bench gzip]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		layout = flag.String("layout", "baseline", "baseline | hopping | distributed | combined")
+		temps  = flag.Bool("temps", false, "annotate with simulated temperatures")
+		bench  = flag.String("bench", "gzip", "benchmark for -temps")
+	)
+	flag.Parse()
+
+	var cfg core.Config
+	switch *layout {
+	case "baseline":
+		cfg = core.DefaultConfig()
+	case "hopping":
+		cfg = core.DefaultConfig().WithBankHopping()
+	case "distributed":
+		cfg = core.DefaultConfig().WithDistributedFrontend(2)
+	case "combined":
+		cfg = core.DefaultConfig().WithDistributedFrontend(2).WithBankHopping()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown layout %q\n", *layout)
+		os.Exit(1)
+	}
+
+	fp := floorplan.New(floorplan.Config{
+		TCBanks:     cfg.TC.Banks,
+		Distributed: cfg.Distributed(),
+		Partitions:  cfg.Frontends,
+		Clusters:    cfg.Clusters,
+	})
+	fmt.Printf("Floorplan %q: %d blocks, %.1f mm²\n\n", *layout, len(fp.Blocks), fp.TotalArea())
+	fmt.Println(fp.Render(0.5))
+
+	if !*temps {
+		return
+	}
+	prof, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+	opt := sim.DefaultOptions()
+	opt.WarmupOps, opt.MeasureOps = 60_000, 120_000
+	r := sim.Run(cfg, prof, opt)
+	type row struct {
+		name string
+		peak float64
+	}
+	var rows []row
+	for _, b := range fp.Blocks {
+		name := b.Name
+		rows = append(rows, row{name, r.Temps.AbsMax(func(n string) bool { return n == name })})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].peak > rows[j].peak })
+	fmt.Printf("Peak rise over ambient on %s:\n", *bench)
+	for _, rw := range rows {
+		bar := ""
+		for i := 0; i < int(rw.peak/2); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%-9s %6.1f %s\n", rw.name, rw.peak, bar)
+	}
+}

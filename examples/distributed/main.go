@@ -1,0 +1,58 @@
+// Distributed rename & commit deep-dive: runs the §3.1 mechanism and
+// exposes the machinery the paper describes — per-partition reorder
+// buffer activity, the R/L commit walk, cross-frontend copy requests, and
+// the resulting temperature drop at ~2% slowdown.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	prof, _ := workload.ByName("gcc")
+	opt := sim.DefaultOptions()
+	opt.WarmupOps = 80_000
+	opt.MeasureOps = 200_000
+
+	base := sim.Run(core.DefaultConfig(), prof, opt)
+	dist := sim.Run(core.DefaultConfig().WithDistributedFrontend(2), prof, opt)
+
+	fmt.Println("Distributed rename and commit on gcc (paper §3.1, Figure 12)")
+	fmt.Println()
+	fmt.Printf("%-28s %12s %12s\n", "", "centralized", "distributed")
+	fmt.Printf("%-28s %12d %12d\n", "measured cycles", base.MeasCycles, dist.MeasCycles)
+	fmt.Printf("%-28s %12.3f %12.3f\n", "IPC", base.IPC(), dist.IPC())
+	fmt.Printf("%-28s %12d %12d\n", "copies", base.Stats.Copies, dist.Stats.Copies)
+	fmt.Printf("%-28s %12d %12d  (two-step §3.1.1 protocol)\n",
+		"cross-frontend copy requests", base.Stats.CrossFrontend, dist.Stats.CrossFrontend)
+	fmt.Printf("%-28s %12s %12.2f%%\n", "slowdown", "-",
+		(float64(dist.MeasCycles)/float64(base.MeasCycles)-1)*100)
+
+	fmt.Println()
+	for _, unit := range []struct {
+		name   string
+		filter func(string) bool
+	}{
+		{"Reorder buffer", floorplan.IsROB},
+		{"Rename table", floorplan.IsRAT},
+		{"Trace cache", floorplan.IsTraceCache},
+	} {
+		b := base.Temps.Unit(unit.filter)
+		d := dist.Temps.Unit(unit.filter)
+		fmt.Printf("%-15s peak rise %5.1f -> %5.1f (-%4.1f%%)   average %5.1f -> %5.1f (-%4.1f%%)\n",
+			unit.name, b.AbsMax, d.AbsMax, (b.AbsMax-d.AbsMax)/b.AbsMax*100,
+			b.Average, d.Average, (b.Average-d.Average)/b.Average*100)
+	}
+
+	fmt.Println()
+	fmt.Println("Each frontend partition holds the rename table and reorder buffer of")
+	fmt.Println("its two backends; output registers are renamed at the (centralized)")
+	fmt.Println("steer stage from per-backend freelists, so no communication is needed")
+	fmt.Println("between the partitions' rename tables.  Commit follows the R/L chain")
+	fmt.Println("across partitions at +1 cycle latency (Figure 8).")
+}

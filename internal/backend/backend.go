@@ -1,0 +1,357 @@
+// Package backend models one backend cluster of the processor (Figure 2b
+// and Table 1 of the paper): the issue queues with their prescheduler
+// queues, the integer and floating-point register files, the functional
+// units, and the memory order buffer with its distributed disambiguation
+// support.
+//
+// The backend is deliberately free of pipeline control: the core package
+// drives it cycle by cycle.  This package owns the structures, their
+// capacity rules and their activity counters.
+package backend
+
+import "fmt"
+
+// NeverReady marks a register whose value has not been produced yet.
+const NeverReady = ^uint64(0)
+
+// QueueKind enumerates the four issue queues of a cluster (Table 1).
+type QueueKind uint8
+
+const (
+	IntQueue  QueueKind = iota // 40-entry IQueue, 1 inst/cycle
+	FPQueue                    // 40-entry FPQueue, 1 inst/cycle
+	CopyQueue                  // 40-entry CopyQueue, 1 inst/cycle
+	MemQueue                   // 96-entry MemQueue, 1 inst/cycle
+	NumQueues
+)
+
+var queueNames = [NumQueues]string{"IQ", "FPQ", "CopyQ", "MemQ"}
+
+// String returns the queue's short name.
+func (k QueueKind) String() string { return queueNames[k] }
+
+// RegFile tracks the readiness of the physical registers of one register
+// space in one cluster.  Values themselves are not simulated.
+type RegFile struct {
+	readyAt []uint64
+	// Reads and Writes are activity counters for the power model.
+	Reads  uint64
+	Writes uint64
+}
+
+// NewRegFile builds a register file with n physical registers, all ready
+// at cycle 0 (the architectural initial state).
+func NewRegFile(n int) *RegFile {
+	rf := &RegFile{readyAt: make([]uint64, n)}
+	return rf
+}
+
+// Size returns the number of physical registers.
+func (rf *RegFile) Size() int { return len(rf.readyAt) }
+
+// SetPending marks register p as not yet produced.
+func (rf *RegFile) SetPending(p int16) { rf.readyAt[p] = NeverReady }
+
+// SetReady records that register p's value is available from cycle c on,
+// and counts the write-back.
+func (rf *RegFile) SetReady(p int16, c uint64) {
+	rf.readyAt[p] = c
+	rf.Writes++
+}
+
+// ReadyAt returns the cycle from which p's value can be read.
+func (rf *RegFile) ReadyAt(p int16) uint64 { return rf.readyAt[p] }
+
+// CountRead records an operand read for the power model.
+func (rf *RegFile) CountRead() { rf.Reads++ }
+
+// QueueEntry is one instruction waiting in an issue queue.
+type QueueEntry struct {
+	ID  int32  // core's in-flight op index
+	Seq uint64 // program order, for oldest-first selection
+	// Operand readiness is resolved by the core through a callback; the
+	// queue keeps a cached earliest-possible issue cycle to avoid
+	// re-evaluating entries known not to be ready.
+	NotBefore uint64
+}
+
+// IssueQueue is one scheduler: a prescheduler FIFO feeding an issue
+// window that issues at most one instruction per cycle (Table 1).
+type IssueQueue struct {
+	kind     QueueKind
+	capacity int
+	presched []presEntry // FIFO, capacity prescap
+	prescap  int
+	window   []QueueEntry
+	// Activity counters: writes on insert, reads on wakeup/select.
+	Writes uint64
+	Reads  uint64
+	// IssueCount counts issued instructions.
+	IssueCount uint64
+}
+
+type presEntry struct {
+	e       QueueEntry
+	arrives uint64 // cycle the entry reaches the issue window
+}
+
+// NewIssueQueue builds a queue of the given kind with the Table 1
+// capacities: window size `capacity`, prescheduler size `prescap`.
+func NewIssueQueue(kind QueueKind, capacity, prescap int) *IssueQueue {
+	if capacity < 1 || prescap < 1 {
+		panic(fmt.Sprintf("backend: bad queue sizes %d/%d", capacity, prescap))
+	}
+	return &IssueQueue{kind: kind, capacity: capacity, prescap: prescap}
+}
+
+// Kind returns the queue kind.
+func (q *IssueQueue) Kind() QueueKind { return q.kind }
+
+// CanDispatch reports whether the prescheduler can accept an entry.
+func (q *IssueQueue) CanDispatch() bool { return len(q.presched) < q.prescap }
+
+// Dispatch inserts an instruction into the prescheduler; it will reach
+// the issue window at cycle `arrives` (dispatch latency is charged by the
+// caller).  ok is false if the prescheduler is full.
+func (q *IssueQueue) Dispatch(e QueueEntry, arrives uint64) bool {
+	if len(q.presched) >= q.prescap {
+		return false
+	}
+	q.presched = append(q.presched, presEntry{e: e, arrives: arrives})
+	q.Writes++
+	return true
+}
+
+// Advance moves prescheduled entries whose time has come into the issue
+// window, in order, while the window has space.
+func (q *IssueQueue) Advance(now uint64) {
+	for len(q.presched) > 0 && q.presched[0].arrives <= now && len(q.window) < q.capacity {
+		q.window = append(q.window, q.presched[0].e)
+		q.presched = q.presched[1:]
+		q.Writes++
+	}
+}
+
+// ReadyFunc decides whether an entry can issue at cycle now.  It returns
+// ok, and if not ok, the earliest future cycle at which it is worth
+// re-evaluating the entry (NeverReady if unknown).
+type ReadyFunc func(id int32, now uint64) (ok bool, retry uint64)
+
+// Issue selects the oldest ready instruction in the window, removes it
+// and returns its id.  It returns (-1, false) if nothing can issue this
+// cycle.  Selection is oldest-first, matching the age-ordered schedulers
+// the paper assumes.
+func (q *IssueQueue) Issue(now uint64, ready ReadyFunc) (int32, bool) {
+	best := -1
+	var bestSeq uint64
+	for i := range q.window {
+		e := &q.window[i]
+		if e.NotBefore > now {
+			continue
+		}
+		q.Reads++
+		ok, retry := ready(e.ID, now)
+		if !ok {
+			e.NotBefore = retry
+			if retry <= now {
+				e.NotBefore = now + 1
+			}
+			continue
+		}
+		if best == -1 || e.Seq < bestSeq {
+			best = i
+			bestSeq = e.Seq
+		}
+	}
+	if best == -1 {
+		return -1, false
+	}
+	id := q.window[best].ID
+	q.window = append(q.window[:best], q.window[best+1:]...)
+	q.IssueCount++
+	return id, true
+}
+
+// Occupancy returns the number of entries in the window and prescheduler.
+func (q *IssueQueue) Occupancy() int { return len(q.window) + len(q.presched) }
+
+// WindowOccupancy returns the number of entries in the issue window only.
+func (q *IssueQueue) WindowOccupancy() int { return len(q.window) }
+
+// MOBEntry is one slot of the memory order buffer.
+type MOBEntry struct {
+	Seq         uint64
+	IsStore     bool
+	Line        uint64 // cache-line address, valid once AddrKnownAt set
+	AddrKnownAt uint64 // NeverReady until the address reaches this cluster
+	Done        bool
+}
+
+// MOB is the memory order buffer of one cluster.  Stores allocate a slot
+// in every cluster's MOB so that loads can disambiguate locally (§2 of
+// the paper); loads allocate a slot only in their own cluster.
+type MOB struct {
+	entries  []MOBEntry
+	capacity int
+	// Activity counters.
+	Writes uint64
+	Reads  uint64
+}
+
+// NewMOB builds a memory order buffer with the given capacity (Table 1:
+// 96 entries).
+func NewMOB(capacity int) *MOB {
+	if capacity < 1 {
+		panic("backend: MOB capacity must be positive")
+	}
+	return &MOB{capacity: capacity}
+}
+
+// CanAlloc reports whether a slot is free.
+func (m *MOB) CanAlloc() bool { return len(m.entries) < m.capacity }
+
+// Alloc appends an entry in program order.  ok is false when full.
+// Callers must allocate in non-decreasing Seq order.
+func (m *MOB) Alloc(seq uint64, isStore bool) bool {
+	if len(m.entries) >= m.capacity {
+		return false
+	}
+	if n := len(m.entries); n > 0 && m.entries[n-1].Seq > seq {
+		panic("backend: MOB allocation out of program order")
+	}
+	m.entries = append(m.entries, MOBEntry{Seq: seq, IsStore: isStore, AddrKnownAt: NeverReady})
+	m.Writes++
+	return true
+}
+
+// SetAddr records that the address of the memory op with sequence seq is
+// known at this cluster from cycle c on.
+func (m *MOB) SetAddr(seq uint64, line uint64, c uint64) {
+	for i := range m.entries {
+		if m.entries[i].Seq == seq {
+			m.entries[i].Line = line
+			m.entries[i].AddrKnownAt = c
+			m.Writes++
+			return
+		}
+	}
+	// The entry may already have been released (e.g. a store committed
+	// before a straggling broadcast); that is harmless.
+}
+
+// Disambiguate checks whether a load with sequence seq and line address
+// line may issue at cycle now: every older store must have a known
+// address by now.  It returns ok and, when ok, whether an older store to
+// the same line provides forwarding.
+// Wakeup polling calls this every cycle, so it does not count toward the
+// activity counters; core counts one search per executed memory op via
+// CountSearch.
+func (m *MOB) Disambiguate(seq uint64, line uint64, now uint64) (ok, forward bool) {
+	for i := range m.entries {
+		e := &m.entries[i]
+		if e.Seq >= seq {
+			break
+		}
+		if !e.IsStore || e.Done {
+			continue
+		}
+		if e.AddrKnownAt == NeverReady || e.AddrKnownAt > now {
+			return false, false
+		}
+		if e.Line == line {
+			forward = true // youngest older store wins; keep scanning
+		}
+	}
+	return true, forward
+}
+
+// CountSearch records one associative disambiguation search (power).
+func (m *MOB) CountSearch() { m.Reads++ }
+
+// Release marks the entry with sequence seq done and compacts the head.
+func (m *MOB) Release(seq uint64) {
+	for i := range m.entries {
+		if m.entries[i].Seq == seq {
+			m.entries[i].Done = true
+			break
+		}
+	}
+	// Pop done entries from the head to free capacity in order.
+	i := 0
+	for i < len(m.entries) && m.entries[i].Done {
+		i++
+	}
+	if i > 0 {
+		m.entries = m.entries[i:]
+	}
+}
+
+// Occupancy returns the number of live slots.
+func (m *MOB) Occupancy() int { return len(m.entries) }
+
+// FU models the unpipelined functional units (dividers); pipelined units
+// accept one operation per cycle through their issue queue and need no
+// extra state.
+type FU struct {
+	nextFree uint64
+	// Ops counts executed operations (pipelined and not) for power.
+	Ops uint64
+}
+
+// CanStart reports whether an unpipelined operation could start at cycle
+// now without mutating the unit.
+func (f *FU) CanStart(now uint64) bool { return f.nextFree <= now }
+
+// TryStart attempts to start an unpipelined operation of the given
+// latency at cycle now; ok is false if the unit is busy.
+func (f *FU) TryStart(now uint64, latency int, pipelined bool) bool {
+	if !pipelined && f.nextFree > now {
+		return false
+	}
+	if !pipelined {
+		f.nextFree = now + uint64(latency)
+	}
+	f.Ops++
+	return true
+}
+
+// Cluster bundles the structures of one backend cluster.
+type Cluster struct {
+	Index  int
+	Queues [NumQueues]*IssueQueue
+	IntRF  *RegFile
+	FPRF   *RegFile
+	Mob    *MOB
+	IntFU  FU
+	FPFU   FU
+	// DTLBAccesses and DL1 activity are tracked by the core's caches;
+	// these counters cover the remaining power-relevant events.
+	AgenOps uint64
+}
+
+// Config sizes one cluster (defaults follow Table 1).
+type Config struct {
+	IntRegs      int // 160
+	FPRegs       int // 160
+	IntQ         int // 40
+	FPQ          int // 40
+	CopyQ        int // 40
+	MemQ         int // 96
+	Prescheduler int // 20 entries per prescheduler queue
+	MOBEntries   int // memory order buffer slots
+}
+
+// NewCluster builds a cluster with the given index and sizes.
+func NewCluster(index int, cfg Config) *Cluster {
+	c := &Cluster{
+		Index: index,
+		IntRF: NewRegFile(cfg.IntRegs),
+		FPRF:  NewRegFile(cfg.FPRegs),
+		Mob:   NewMOB(cfg.MOBEntries),
+	}
+	c.Queues[IntQueue] = NewIssueQueue(IntQueue, cfg.IntQ, cfg.Prescheduler)
+	c.Queues[FPQueue] = NewIssueQueue(FPQueue, cfg.FPQ, cfg.Prescheduler)
+	c.Queues[CopyQueue] = NewIssueQueue(CopyQueue, cfg.CopyQ, cfg.Prescheduler)
+	c.Queues[MemQueue] = NewIssueQueue(MemQueue, cfg.MemQ, cfg.Prescheduler)
+	return c
+}

@@ -1,0 +1,291 @@
+package backend
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegFileReadiness(t *testing.T) {
+	rf := NewRegFile(8)
+	if rf.Size() != 8 {
+		t.Fatalf("size = %d", rf.Size())
+	}
+	if rf.ReadyAt(3) != 0 {
+		t.Fatal("fresh register not ready at 0")
+	}
+	rf.SetPending(3)
+	if rf.ReadyAt(3) != NeverReady {
+		t.Fatal("SetPending did not mark register")
+	}
+	rf.SetReady(3, 17)
+	if rf.ReadyAt(3) != 17 {
+		t.Fatalf("ReadyAt = %d", rf.ReadyAt(3))
+	}
+	rf.CountRead()
+	if rf.Writes != 1 || rf.Reads != 1 {
+		t.Fatalf("counters = %d/%d", rf.Reads, rf.Writes)
+	}
+}
+
+func TestQueueDispatchAdvanceIssue(t *testing.T) {
+	q := NewIssueQueue(IntQueue, 4, 2)
+	if !q.CanDispatch() {
+		t.Fatal("fresh queue cannot dispatch")
+	}
+	ok := q.Dispatch(QueueEntry{ID: 1, Seq: 1}, 10)
+	if !ok {
+		t.Fatal("dispatch failed")
+	}
+	q.Advance(5)
+	if q.WindowOccupancy() != 0 {
+		t.Fatal("entry reached window early")
+	}
+	q.Advance(10)
+	if q.WindowOccupancy() != 1 {
+		t.Fatal("entry did not reach window")
+	}
+	allReady := func(id int32, now uint64) (bool, uint64) { return true, 0 }
+	id, issued := q.Issue(10, allReady)
+	if !issued || id != 1 {
+		t.Fatalf("issue = %d,%v", id, issued)
+	}
+	if _, issued := q.Issue(10, allReady); issued {
+		t.Fatal("issued from empty window")
+	}
+	if q.IssueCount != 1 {
+		t.Fatalf("IssueCount = %d", q.IssueCount)
+	}
+}
+
+func TestQueueOldestFirst(t *testing.T) {
+	q := NewIssueQueue(IntQueue, 8, 8)
+	q.Dispatch(QueueEntry{ID: 10, Seq: 5}, 0)
+	q.Dispatch(QueueEntry{ID: 11, Seq: 2}, 0)
+	q.Dispatch(QueueEntry{ID: 12, Seq: 9}, 0)
+	q.Advance(0)
+	allReady := func(id int32, now uint64) (bool, uint64) { return true, 0 }
+	id, _ := q.Issue(0, allReady)
+	if id != 11 {
+		t.Fatalf("issued %d, want oldest (11)", id)
+	}
+}
+
+func TestQueueSkipsNotReady(t *testing.T) {
+	q := NewIssueQueue(IntQueue, 8, 8)
+	q.Dispatch(QueueEntry{ID: 1, Seq: 1}, 0)
+	q.Dispatch(QueueEntry{ID: 2, Seq: 2}, 0)
+	q.Advance(0)
+	onlyTwo := func(id int32, now uint64) (bool, uint64) {
+		if id == 2 {
+			return true, 0
+		}
+		return false, 100
+	}
+	id, ok := q.Issue(0, onlyTwo)
+	if !ok || id != 2 {
+		t.Fatalf("issue = %d,%v; want 2 (out-of-order issue)", id, ok)
+	}
+	// Entry 1 cached its retry time: ready func must not be called again
+	// before cycle 100.
+	calls := 0
+	counting := func(id int32, now uint64) (bool, uint64) { calls++; return false, 200 }
+	q.Issue(50, counting)
+	if calls != 0 {
+		t.Fatalf("ready func called %d times before retry time", calls)
+	}
+	q.Issue(100, counting)
+	if calls != 1 {
+		t.Fatalf("ready func not re-evaluated at retry time (calls=%d)", calls)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	q := NewIssueQueue(IntQueue, 1, 2)
+	q.Dispatch(QueueEntry{ID: 1, Seq: 1}, 0)
+	q.Dispatch(QueueEntry{ID: 2, Seq: 2}, 0)
+	if q.CanDispatch() {
+		t.Fatal("prescheduler over capacity")
+	}
+	if q.Dispatch(QueueEntry{ID: 3, Seq: 3}, 0) {
+		t.Fatal("dispatch into full prescheduler")
+	}
+	q.Advance(0)
+	if q.WindowOccupancy() != 1 {
+		t.Fatalf("window occupancy = %d, want 1 (capacity)", q.WindowOccupancy())
+	}
+	// One entry remains stuck in the prescheduler until the window drains.
+	if !q.CanDispatch() {
+		t.Fatal("prescheduler did not free a slot")
+	}
+	if q.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d", q.Occupancy())
+	}
+}
+
+func TestMOBDisambiguation(t *testing.T) {
+	m := NewMOB(8)
+	m.Alloc(1, true) // store, address unknown
+	m.Alloc(2, false)
+	// Load 2 cannot issue: older store address unknown.
+	if ok, _ := m.Disambiguate(2, 0x40, 5); ok {
+		t.Fatal("load issued past unknown store address")
+	}
+	m.SetAddr(1, 0x40, 4)
+	ok, fwd := m.Disambiguate(2, 0x40, 5)
+	if !ok || !fwd {
+		t.Fatalf("disambiguate = %v,%v; want forwarding hit", ok, fwd)
+	}
+	ok, fwd = m.Disambiguate(2, 0x80, 5)
+	if !ok || fwd {
+		t.Fatalf("different line: = %v,%v; want ok, no forward", ok, fwd)
+	}
+	// Not yet visible at cycle 3.
+	if ok, _ := m.Disambiguate(2, 0x40, 3); ok {
+		t.Fatal("address visible before broadcast arrival")
+	}
+}
+
+func TestMOBReleaseOrder(t *testing.T) {
+	m := NewMOB(3)
+	m.Alloc(1, true)
+	m.Alloc(2, false)
+	m.Alloc(3, true)
+	if m.CanAlloc() {
+		t.Fatal("MOB over capacity")
+	}
+	m.Release(2) // load in the middle finishes first
+	if m.Occupancy() != 3 {
+		t.Fatal("capacity freed out of order")
+	}
+	m.Release(1)
+	if m.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d after head release, want 1", m.Occupancy())
+	}
+	if !m.CanAlloc() {
+		t.Fatal("MOB did not free capacity")
+	}
+}
+
+func TestMOBStoresDoNotBlockOlderLoads(t *testing.T) {
+	m := NewMOB(8)
+	m.Alloc(5, true)
+	if ok, _ := m.Disambiguate(3, 0x40, 0); !ok {
+		t.Fatal("younger store blocked an older load")
+	}
+}
+
+func TestMOBOutOfOrderAllocPanics(t *testing.T) {
+	m := NewMOB(8)
+	m.Alloc(5, true)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order MOB alloc did not panic")
+		}
+	}()
+	m.Alloc(3, false)
+}
+
+func TestFUUnpipelined(t *testing.T) {
+	var f FU
+	if !f.TryStart(10, 20, false) {
+		t.Fatal("idle divider refused work")
+	}
+	if f.TryStart(15, 20, false) {
+		t.Fatal("busy divider accepted work")
+	}
+	if !f.TryStart(30, 20, false) {
+		t.Fatal("freed divider refused work")
+	}
+	// Pipelined ops always start.
+	if !f.TryStart(31, 4, true) || !f.TryStart(31, 4, true) {
+		t.Fatal("pipelined unit refused work")
+	}
+	if f.Ops != 4 {
+		t.Fatalf("Ops = %d", f.Ops)
+	}
+}
+
+func TestNewClusterTable1(t *testing.T) {
+	c := NewCluster(2, Config{
+		IntRegs: 160, FPRegs: 160, IntQ: 40, FPQ: 40, CopyQ: 40, MemQ: 96,
+		Prescheduler: 20, MOBEntries: 96,
+	})
+	if c.Index != 2 {
+		t.Fatalf("index = %d", c.Index)
+	}
+	if c.IntRF.Size() != 160 || c.FPRF.Size() != 160 {
+		t.Fatal("register file sizes wrong")
+	}
+	for k := QueueKind(0); k < NumQueues; k++ {
+		if c.Queues[k] == nil || c.Queues[k].Kind() != k {
+			t.Fatalf("queue %v missing or mislabelled", k)
+		}
+	}
+	if IntQueue.String() != "IQ" || MemQueue.String() != "MemQ" {
+		t.Fatal("queue names wrong")
+	}
+}
+
+func TestBadSizesPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewIssueQueue(IntQueue, 0, 4) },
+		func() { NewIssueQueue(IntQueue, 4, 0) },
+		func() { NewMOB(0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: a queue never holds more than capacity+prescap entries and
+// issue drains exactly what was dispatched.
+func TestQuickQueueConservation(t *testing.T) {
+	q := NewIssueQueue(FPQueue, 4, 4)
+	dispatched, issued := 0, 0
+	now := uint64(0)
+	allReady := func(id int32, _ uint64) (bool, uint64) { return true, 0 }
+	f := func(doIssue bool) bool {
+		now++
+		if doIssue {
+			q.Advance(now)
+			if _, ok := q.Issue(now, allReady); ok {
+				issued++
+			}
+		} else if q.Dispatch(QueueEntry{ID: int32(dispatched), Seq: uint64(dispatched)}, now) {
+			dispatched++
+		}
+		return q.Occupancy() == dispatched-issued && q.Occupancy() <= 8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: disambiguation is monotone in time — once a load may issue it
+// may issue at any later cycle (with no new stores).
+func TestQuickDisambiguationMonotone(t *testing.T) {
+	m := NewMOB(16)
+	m.Alloc(1, true)
+	m.Alloc(4, true)
+	m.SetAddr(1, 0x100, 3)
+	m.SetAddr(4, 0x200, 7)
+	f := func(t1, t2 uint16) bool {
+		a, b := uint64(t1), uint64(t2)
+		if a > b {
+			a, b = b, a
+		}
+		okA, _ := m.Disambiguate(9, 0x300, a)
+		okB, _ := m.Disambiguate(9, 0x300, b)
+		return !okA || okB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package bpred implements a branch-direction predictor substrate for the
+// frontend.
+//
+// The paper charges branch-predictor activity (the BP block of the
+// Figure 10 floorplan) and models mispredictions through its IA32 traces.
+// The workload package normally supplies misprediction flags drawn from
+// per-benchmark rates; this package provides the alternative the paper's
+// real frontend would use: a gshare predictor with a bimodal choice
+// fallback, trained on the actual branch outcomes of the synthetic
+// stream.  core.Config.UseBranchPredictor selects it.
+package bpred
+
+// Predictor is a gshare direction predictor: the global history register
+// is XORed with the branch PC to index a table of 2-bit saturating
+// counters.  A small bimodal table handles strongly biased branches that
+// gshare aliasing would otherwise pollute.
+type Predictor struct {
+	gshare  []uint8 // 2-bit counters
+	bimodal []uint8
+	choice  []uint8 // 2-bit chooser: >=2 selects gshare
+	mask    uint32
+	history uint32
+
+	// Stats.
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// New builds a predictor with 2^bits entries per table.  bits must be in
+// [4, 24].
+func New(bits uint) *Predictor {
+	if bits < 4 || bits > 24 {
+		panic("bpred: table size out of range")
+	}
+	n := 1 << bits
+	p := &Predictor{
+		gshare:  make([]uint8, n),
+		bimodal: make([]uint8, n),
+		choice:  make([]uint8, n),
+		mask:    uint32(n - 1),
+	}
+	for i := range p.gshare {
+		p.gshare[i] = 1 // weakly not-taken
+		p.bimodal[i] = 1
+		p.choice[i] = 2 // weakly prefer gshare
+	}
+	return p
+}
+
+func (p *Predictor) gIndex(pc uint64) uint32 {
+	return (uint32(pc>>2) ^ p.history) & p.mask
+}
+
+func (p *Predictor) bIndex(pc uint64) uint32 {
+	return uint32(pc>>2) & p.mask
+}
+
+// Predict returns the predicted direction for the branch at pc.
+func (p *Predictor) Predict(pc uint64) bool {
+	p.Lookups++
+	if p.choice[p.bIndex(pc)] >= 2 {
+		return p.gshare[p.gIndex(pc)] >= 2
+	}
+	return p.bimodal[p.bIndex(pc)] >= 2
+}
+
+// Update trains the predictor with the resolved direction and returns
+// whether the prediction it would have made was wrong.
+func (p *Predictor) Update(pc uint64, taken bool) (mispredicted bool) {
+	gi, bi := p.gIndex(pc), p.bIndex(pc)
+	gPred := p.gshare[gi] >= 2
+	bPred := p.bimodal[bi] >= 2
+	useG := p.choice[bi] >= 2
+	pred := bPred
+	if useG {
+		pred = gPred
+	}
+	mispredicted = pred != taken
+	if mispredicted {
+		p.Mispredicts++
+	}
+
+	// Train the chooser toward the component that was right.
+	if gPred != bPred {
+		if gPred == taken {
+			p.choice[bi] = satInc(p.choice[bi])
+		} else {
+			p.choice[bi] = satDec(p.choice[bi])
+		}
+	}
+	if taken {
+		p.gshare[gi] = satInc(p.gshare[gi])
+		p.bimodal[bi] = satInc(p.bimodal[bi])
+	} else {
+		p.gshare[gi] = satDec(p.gshare[gi])
+		p.bimodal[bi] = satDec(p.bimodal[bi])
+	}
+	p.history = (p.history << 1) | b2u(taken)
+	return mispredicted
+}
+
+// MispredictRate returns the fraction of updates that were mispredicted.
+func (p *Predictor) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func satInc(c uint8) uint8 {
+	if c < 3 {
+		return c + 1
+	}
+	return 3
+}
+
+func satDec(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

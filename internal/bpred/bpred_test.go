@@ -1,0 +1,153 @@
+package bpred
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestAlwaysTakenLearned(t *testing.T) {
+	p := New(10)
+	pc := uint64(0x400)
+	miss := 0
+	for i := 0; i < 100; i++ {
+		p.Predict(pc)
+		if p.Update(pc, true) {
+			miss++
+		}
+	}
+	if miss > 5 {
+		t.Errorf("always-taken branch mispredicted %d/100 times", miss)
+	}
+}
+
+func TestAlternatingLearnedByHistory(t *testing.T) {
+	// T,N,T,N... is perfectly predictable with one bit of history.
+	p := New(12)
+	pc := uint64(0x80)
+	miss := 0
+	for i := 0; i < 400; i++ {
+		taken := i%2 == 0
+		p.Predict(pc)
+		if p.Update(pc, taken) && i > 100 {
+			miss++
+		}
+	}
+	if miss > 20 {
+		t.Errorf("alternating branch mispredicted %d/300 after warmup", miss)
+	}
+}
+
+func TestLoopPatternLearned(t *testing.T) {
+	// Taken 7 times, not-taken once (an 8-iteration loop).
+	p := New(14)
+	pc := uint64(0x1234)
+	miss := 0
+	total := 0
+	for i := 0; i < 3200; i++ {
+		taken := i%8 != 7
+		p.Predict(pc)
+		m := p.Update(pc, taken)
+		if i > 800 {
+			total++
+			if m {
+				miss++
+			}
+		}
+	}
+	rate := float64(miss) / float64(total)
+	if rate > 0.05 {
+		t.Errorf("loop branch mispredict rate %.3f after warmup", rate)
+	}
+}
+
+func TestRandomBranchNearHalf(t *testing.T) {
+	// A truly random branch cannot be predicted: rate must be near 50%
+	// (well above 30%, below 70%).
+	p := New(12)
+	src := rng.New(7)
+	pc := uint64(0x900)
+	miss, total := 0, 0
+	for i := 0; i < 8000; i++ {
+		taken := src.Bool(0.5)
+		p.Predict(pc)
+		if p.Update(pc, taken) {
+			miss++
+		}
+		total++
+	}
+	rate := float64(miss) / float64(total)
+	if rate < 0.3 || rate > 0.7 {
+		t.Errorf("random branch rate %.3f; predictor is cheating or broken", rate)
+	}
+}
+
+func TestBiasedBranchesBeatBias(t *testing.T) {
+	// Branches taken with p=0.9: the predictor must do better than always
+	// guessing the bias would on the complement (10%).
+	p := New(12)
+	src := rng.New(42)
+	miss, total := 0, 0
+	for i := 0; i < 20000; i++ {
+		pc := uint64(0x1000 + (i%16)*64)
+		taken := src.Bool(0.9)
+		p.Predict(pc)
+		if p.Update(pc, taken) && i > 2000 {
+			miss++
+		}
+		if i > 2000 {
+			total++
+		}
+	}
+	rate := float64(miss) / float64(total)
+	if rate > 0.15 {
+		t.Errorf("biased branches mispredicted at %.3f", rate)
+	}
+}
+
+func TestManyBranchesNoCrossPollution(t *testing.T) {
+	// Two opposite-bias branches at different PCs must both be learned.
+	p := New(12)
+	missA, missB := 0, 0
+	for i := 0; i < 500; i++ {
+		p.Predict(0x100)
+		if p.Update(0x100, true) && i > 50 {
+			missA++
+		}
+		p.Predict(0x20000)
+		if p.Update(0x20000, false) && i > 50 {
+			missB++
+		}
+	}
+	if missA > 30 || missB > 30 {
+		t.Errorf("cross-pollution: missA=%d missB=%d", missA, missB)
+	}
+}
+
+func TestStatsAndRate(t *testing.T) {
+	p := New(8)
+	if p.MispredictRate() != 0 {
+		t.Error("fresh predictor has nonzero rate")
+	}
+	p.Predict(0)
+	p.Update(0, true)
+	if p.Lookups != 1 {
+		t.Errorf("lookups = %d", p.Lookups)
+	}
+	if r := p.MispredictRate(); r < 0 || r > 1 {
+		t.Errorf("rate = %v", r)
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	for _, bits := range []uint{0, 3, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bits)
+				}
+			}()
+			New(bits)
+		}()
+	}
+}

@@ -1,0 +1,218 @@
+// Package cache implements the set-associative cache model used for the
+// per-cluster first-level data caches and the shared UL2 (Table 1 of the
+// paper: 16 KB/2-way DL1 with write-update, 2 MB/8-way UL2).
+//
+// The model tracks tags only — simulated programs have no data values —
+// and is used for timing (hit/miss) and activity (power) accounting.
+package cache
+
+import "fmt"
+
+// Stats accumulates access statistics; the power model reads these as
+// activity counters.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadMiss   uint64
+	WriteMiss  uint64
+	Fills      uint64
+	Updates    uint64 // write-update refreshes of lines present elsewhere
+	Invalidate uint64
+}
+
+// Accesses returns the total number of cache accesses.
+func (s *Stats) Accesses() uint64 { return s.Reads + s.Writes + s.Updates }
+
+// Misses returns the total number of misses.
+func (s *Stats) Misses() uint64 { return s.ReadMiss + s.WriteMiss }
+
+// HitRate returns the fraction of read+write accesses that hit, or 1 if
+// there were no accesses.
+func (s *Stats) HitRate() float64 {
+	a := s.Reads + s.Writes
+	if a == 0 {
+		return 1
+	}
+	return 1 - float64(s.Misses())/float64(a)
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+	tags      []uint64 // sets*ways, tag per way
+	valid     []bool
+	age       []uint64 // LRU timestamps
+	clock     uint64
+	Stats     Stats
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	Name  string
+	SizeB int // total size in bytes
+	Ways  int
+	LineB int // line size in bytes
+}
+
+// New builds a cache from the configuration.  It panics on a geometry
+// that is not a power of two, which would silently alias sets.
+func New(cfg Config) *Cache {
+	if cfg.LineB <= 0 || cfg.LineB&(cfg.LineB-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineB))
+	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: %d ways", cfg.Name, cfg.Ways))
+	}
+	lines := cfg.SizeB / cfg.LineB
+	sets := lines / cfg.Ways
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: %d sets not a power of two", cfg.Name, sets))
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.LineB {
+		shift++
+	}
+	return &Cache{
+		name:      cfg.Name,
+		sets:      sets,
+		ways:      cfg.Ways,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*cfg.Ways),
+		valid:     make([]bool, sets*cfg.Ways),
+		age:       make([]uint64, sets*cfg.Ways),
+	}
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineB returns the line size in bytes.
+func (c *Cache) LineB() int { return 1 << c.lineShift }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.lineShift
+	return int(line & c.setMask), line >> 0 // full line address as tag
+}
+
+// Lookup reports whether addr hits without updating LRU state or stats.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Read performs a read access; it returns true on hit.  On a miss the
+// line is NOT filled automatically — call Fill when the refill arrives so
+// that timing and contents stay consistent.
+func (c *Cache) Read(addr uint64) bool {
+	c.Stats.Reads++
+	if c.touch(addr) {
+		return true
+	}
+	c.Stats.ReadMiss++
+	return false
+}
+
+// Write performs a write access; returns true on hit.  The caller decides
+// the allocation policy (the DL1 uses write-update, no write-allocate).
+func (c *Cache) Write(addr uint64) bool {
+	c.Stats.Writes++
+	if c.touch(addr) {
+		return true
+	}
+	c.Stats.WriteMiss++
+	return false
+}
+
+// Update refreshes a line if present (write-update protocol); it returns
+// true if the line was present.  Misses are not counted as such.
+func (c *Cache) Update(addr uint64) bool {
+	if c.touch(addr) {
+		c.Stats.Updates++
+		return true
+	}
+	return false
+}
+
+// touch hits the line if present and promotes it to MRU.
+func (c *Cache) touch(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.clock++
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == tag {
+			c.age[base+w] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line containing addr, evicting the LRU way.  It returns
+// the evicted line address and whether an eviction happened.
+func (c *Cache) Fill(addr uint64) (evicted uint64, wasValid bool) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.clock++
+	c.Stats.Fills++
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			wasValid = false
+			c.tags[i] = tag
+			c.valid[i] = true
+			c.age[i] = c.clock
+			return 0, false
+		}
+		if c.age[i] < c.age[victim] {
+			victim = i
+		}
+	}
+	evicted = c.tags[victim] << c.lineShift
+	c.tags[victim] = tag
+	c.age[victim] = c.clock
+	return evicted, true
+}
+
+// InvalidateAll clears the whole cache (used when a trace-cache bank is
+// Vdd-gated: its contents are lost, §3.2.1).
+func (c *Cache) InvalidateAll() {
+	for i := range c.valid {
+		if c.valid[i] {
+			c.valid[i] = false
+			c.Stats.Invalidate++
+		}
+	}
+}
+
+// ValidLines returns the number of valid lines currently held.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the statistics counters (contents are kept).
+func (c *Cache) ResetStats() { c.Stats = Stats{} }

@@ -1,0 +1,200 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func dl1() *Cache {
+	// Table 1: 16 KB / 2-way data cache, 64-byte lines.
+	return New(Config{Name: "DL1", SizeB: 16 << 10, Ways: 2, LineB: 64})
+}
+
+func TestGeometry(t *testing.T) {
+	c := dl1()
+	if c.Sets() != 128 || c.Ways() != 2 || c.LineB() != 64 {
+		t.Fatalf("geometry = %d sets / %d ways / %dB lines", c.Sets(), c.Ways(), c.LineB())
+	}
+	if c.Name() != "DL1" {
+		t.Fatalf("name = %q", c.Name())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{Name: "badline", SizeB: 1024, Ways: 2, LineB: 48},
+		{Name: "zeroways", SizeB: 1024, Ways: 0, LineB: 64},
+		{Name: "badsets", SizeB: 3 * 64 * 2, Ways: 2, LineB: 64},
+	}
+	for _, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestMissThenFillThenHit(t *testing.T) {
+	c := dl1()
+	if c.Read(0x1000) {
+		t.Fatal("cold cache hit")
+	}
+	c.Fill(0x1000)
+	if !c.Read(0x1000) {
+		t.Fatal("miss after fill")
+	}
+	if !c.Read(0x1038) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Read(0x1040) {
+		t.Fatal("next line hit without fill")
+	}
+	if c.Stats.Reads != 4 || c.Stats.ReadMiss != 2 || c.Stats.Fills != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := dl1()
+	// Three lines mapping to the same set: set index repeats every
+	// sets*lineB = 8192 bytes.
+	a, b, d := uint64(0x0000), uint64(0x2000), uint64(0x4000)
+	c.Fill(a)
+	c.Fill(b)
+	c.Read(a) // promote a to MRU; b is now LRU
+	c.Fill(d) // must evict b
+	if !c.Lookup(a) {
+		t.Error("a was evicted but was MRU")
+	}
+	if c.Lookup(b) {
+		t.Error("b survived but was LRU")
+	}
+	if !c.Lookup(d) {
+		t.Error("d missing after fill")
+	}
+}
+
+func TestFillReturnsEviction(t *testing.T) {
+	c := New(Config{Name: "tiny", SizeB: 128, Ways: 2, LineB: 64})
+	if _, was := c.Fill(0); was {
+		t.Error("eviction from empty cache")
+	}
+	if _, was := c.Fill(128); was {
+		t.Error("eviction while ways free")
+	}
+	ev, was := c.Fill(256)
+	if !was || ev != 0 {
+		t.Errorf("Fill evicted (%#x,%v), want (0,true)", ev, was)
+	}
+}
+
+func TestWriteUpdateProtocol(t *testing.T) {
+	c := dl1()
+	if c.Update(0x40) {
+		t.Error("Update hit on absent line")
+	}
+	c.Fill(0x40)
+	if !c.Update(0x40) {
+		t.Error("Update missed present line")
+	}
+	if c.Stats.Updates != 1 {
+		t.Errorf("Updates = %d", c.Stats.Updates)
+	}
+	// Updates must not perturb the miss counters.
+	if c.Stats.Misses() != 0 {
+		t.Errorf("Update counted as miss: %+v", c.Stats)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := dl1()
+	for i := uint64(0); i < 32; i++ {
+		c.Fill(i * 64)
+	}
+	if c.ValidLines() != 32 {
+		t.Fatalf("valid lines = %d", c.ValidLines())
+	}
+	c.InvalidateAll()
+	if c.ValidLines() != 0 {
+		t.Fatal("lines survived InvalidateAll")
+	}
+	if c.Stats.Invalidate != 32 {
+		t.Fatalf("Invalidate count = %d", c.Stats.Invalidate)
+	}
+	if c.Read(0) {
+		t.Fatal("hit after InvalidateAll")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := dl1()
+	if hr := c.Stats.HitRate(); hr != 1 {
+		t.Errorf("empty hit rate = %v", hr)
+	}
+	c.Read(0) // miss
+	c.Fill(0)
+	c.Read(0) // hit
+	if hr := c.Stats.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", hr)
+	}
+	c.ResetStats()
+	if c.Stats.Accesses() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestWriteMissCounting(t *testing.T) {
+	c := dl1()
+	if c.Write(0x80) {
+		t.Fatal("write hit on empty cache")
+	}
+	c.Fill(0x80)
+	if !c.Write(0x80) {
+		t.Fatal("write missed after fill")
+	}
+	if c.Stats.Writes != 2 || c.Stats.WriteMiss != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+// Property: after Fill(addr), Lookup(addr) is always true, regardless of
+// the preceding access sequence.
+func TestQuickFillThenLookup(t *testing.T) {
+	c := New(Config{Name: "q", SizeB: 4096, Ways: 4, LineB: 64})
+	f := func(ops []uint64, addr uint64) bool {
+		for _, a := range ops {
+			switch a % 3 {
+			case 0:
+				c.Read(a)
+			case 1:
+				c.Write(a)
+			case 2:
+				c.Fill(a)
+			}
+		}
+		c.Fill(addr)
+		return c.Lookup(addr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the number of valid lines never exceeds capacity.
+func TestQuickCapacityInvariant(t *testing.T) {
+	c := New(Config{Name: "q2", SizeB: 2048, Ways: 2, LineB: 64})
+	capacity := c.Sets() * c.Ways()
+	f := func(addrs []uint64) bool {
+		for _, a := range addrs {
+			c.Fill(a)
+		}
+		return c.ValidLines() <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import "repro/internal/backend"
+
+// Activity is a cumulative snapshot of every activity counter the power
+// model consumes.  The power model differences two snapshots to obtain
+// per-interval event counts per functional block (§2.1 of the paper:
+// "an activity counter is associated to each functional block").
+type Activity struct {
+	Cycles    uint64
+	Committed uint64
+
+	// Frontend.
+	TCBank       []uint64 // per-bank accesses (reads + fills)
+	ITLB         uint64
+	BP           uint64
+	Decode       uint64
+	SteerOps     uint64   // availability-table + freelist activity (steer stage)
+	RATReads     []uint64 // per frontend partition
+	RATWrites    []uint64
+	ROBAllocs    []uint64 // per frontend partition
+	ROBCompletes []uint64
+	ROBCommits   []uint64
+	ROBWalks     []uint64
+
+	// Backend, per cluster.
+	Cluster []ClusterActivity
+
+	// Shared.
+	UL2 uint64
+}
+
+// ClusterActivity is the per-cluster slice of an Activity snapshot.
+type ClusterActivity struct {
+	IRFReads   uint64
+	IRFWrites  uint64
+	FPRFReads  uint64
+	FPRFWrites uint64
+	Queue      [backend.NumQueues]uint64 // scheduler reads+writes per queue
+	Issues     [backend.NumQueues]uint64
+	IntFUOps   uint64
+	FPFUOps    uint64
+	AgenOps    uint64
+	DL1        uint64
+	DTLB       uint64
+	MOB        uint64
+}
+
+// Activity captures the current cumulative counters.
+func (p *Processor) Activity() Activity {
+	a := Activity{
+		Cycles:    p.cycle,
+		Committed: p.Stats.Committed,
+		ITLB:      p.itlbAcc,
+		BP:        p.bpAcc,
+		Decode:    p.decodeOps,
+		UL2:       p.ul2.Stats.Accesses() + p.ul2.Stats.Fills,
+	}
+	a.TCBank = make([]uint64, p.tc.Banks())
+	for b := 0; b < p.tc.Banks(); b++ {
+		s := p.tc.BankStats(b)
+		a.TCBank[b] = s.Accesses() + s.Fills
+	}
+	a.SteerOps = p.avail.Reads + p.avail.Writes
+
+	f := p.cfg.Frontends
+	a.RATReads = make([]uint64, f)
+	a.RATWrites = make([]uint64, f)
+	for cl := 0; cl < p.cfg.Clusters; cl++ {
+		part := p.cfg.FrontendOf(cl)
+		a.RATReads[part] += p.maps[cl].Reads
+		a.RATWrites[part] += p.maps[cl].Writes
+	}
+	a.ROBAllocs = make([]uint64, f)
+	a.ROBCompletes = make([]uint64, f)
+	a.ROBCommits = make([]uint64, f)
+	a.ROBWalks = make([]uint64, f)
+	for part := 0; part < f; part++ {
+		ps := p.reorder.Part[part]
+		a.ROBAllocs[part] = ps.Allocs
+		a.ROBCompletes[part] = ps.Completes
+		a.ROBCommits[part] = ps.Commits
+		a.ROBWalks[part] = ps.WalkReads
+	}
+
+	a.Cluster = make([]ClusterActivity, p.cfg.Clusters)
+	for cl := 0; cl < p.cfg.Clusters; cl++ {
+		c := p.clusters[cl]
+		ca := &a.Cluster[cl]
+		ca.IRFReads = c.IntRF.Reads
+		ca.IRFWrites = c.IntRF.Writes
+		ca.FPRFReads = c.FPRF.Reads
+		ca.FPRFWrites = c.FPRF.Writes
+		for k := backend.QueueKind(0); k < backend.NumQueues; k++ {
+			ca.Queue[k] = c.Queues[k].Reads + c.Queues[k].Writes
+			ca.Issues[k] = c.Queues[k].IssueCount
+		}
+		ca.IntFUOps = c.IntFU.Ops
+		ca.FPFUOps = c.FPFU.Ops
+		ca.AgenOps = c.AgenOps
+		ca.DL1 = p.dl1[cl].Stats.Accesses() + p.dl1[cl].Stats.Fills
+		ca.DTLB = p.dtlb[cl].Stats.Accesses() + p.dtlb[cl].Stats.Fills
+		ca.MOB = c.Mob.Reads + c.Mob.Writes
+	}
+	return a
+}
+
+// Sub returns the per-interval delta a - prev (counter-wise).
+func (a Activity) Sub(prev Activity) Activity {
+	d := a
+	d.Cycles -= prev.Cycles
+	d.Committed -= prev.Committed
+	d.ITLB -= prev.ITLB
+	d.BP -= prev.BP
+	d.Decode -= prev.Decode
+	d.SteerOps -= prev.SteerOps
+	d.UL2 -= prev.UL2
+	d.TCBank = subSlice(a.TCBank, prev.TCBank)
+	d.RATReads = subSlice(a.RATReads, prev.RATReads)
+	d.RATWrites = subSlice(a.RATWrites, prev.RATWrites)
+	d.ROBAllocs = subSlice(a.ROBAllocs, prev.ROBAllocs)
+	d.ROBCompletes = subSlice(a.ROBCompletes, prev.ROBCompletes)
+	d.ROBCommits = subSlice(a.ROBCommits, prev.ROBCommits)
+	d.ROBWalks = subSlice(a.ROBWalks, prev.ROBWalks)
+	d.Cluster = make([]ClusterActivity, len(a.Cluster))
+	for i := range a.Cluster {
+		ca, pa := a.Cluster[i], prev.Cluster[i]
+		dc := &d.Cluster[i]
+		dc.IRFReads = ca.IRFReads - pa.IRFReads
+		dc.IRFWrites = ca.IRFWrites - pa.IRFWrites
+		dc.FPRFReads = ca.FPRFReads - pa.FPRFReads
+		dc.FPRFWrites = ca.FPRFWrites - pa.FPRFWrites
+		for k := range ca.Queue {
+			dc.Queue[k] = ca.Queue[k] - pa.Queue[k]
+			dc.Issues[k] = ca.Issues[k] - pa.Issues[k]
+		}
+		dc.IntFUOps = ca.IntFUOps - pa.IntFUOps
+		dc.FPFUOps = ca.FPFUOps - pa.FPFUOps
+		dc.AgenOps = ca.AgenOps - pa.AgenOps
+		dc.DL1 = ca.DL1 - pa.DL1
+		dc.DTLB = ca.DTLB - pa.DTLB
+		dc.MOB = ca.MOB - pa.MOB
+	}
+	return d
+}
+
+func subSlice(a, b []uint64) []uint64 {
+	out := make([]uint64, len(a))
+	for i := range a {
+		if i < len(b) {
+			out[i] = a[i] - b[i]
+		} else {
+			out[i] = a[i]
+		}
+	}
+	return out
+}
+
+// TCHitRate returns the trace cache hit rate so far.
+func (p *Processor) TCHitRate() float64 { return p.tc.Stats.HitRate() }
+
+// DL1HitRate returns the aggregate first-level data cache hit rate.
+func (p *Processor) DL1HitRate() float64 {
+	var acc, miss uint64
+	for _, d := range p.dl1 {
+		acc += d.Stats.Reads + d.Stats.Writes
+		miss += d.Stats.Misses()
+	}
+	if acc == 0 {
+		return 1
+	}
+	return 1 - float64(miss)/float64(acc)
+}

@@ -1,0 +1,677 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/interconnect"
+	"repro/internal/rename"
+	"repro/internal/rob"
+	"repro/internal/tcache"
+	"repro/internal/uop"
+)
+
+// Feeder supplies the dynamic micro-op stream (normally a
+// workload.Generator).
+type Feeder interface {
+	Next() (uop.MicroOp, bool)
+}
+
+// copyBase offsets copy-instruction ids above op-slab ids in issue-queue
+// entries.
+const copyBase int32 = 1 << 30
+
+// Stats aggregates the performance counters of one run.
+type Stats struct {
+	Cycles         uint64
+	Committed      uint64 // committed micro-ops
+	TracesFetched  uint64
+	TCMissStalls   uint64
+	DispatchStalls uint64
+	Mispredicts    uint64
+	Copies         uint64
+	CrossFrontend  uint64 // copies that needed the two-step request
+	LoadForwards   uint64
+	LoadMisses     uint64
+}
+
+// IPC returns committed micro-ops per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+type regFree struct {
+	cluster int8
+	fp      bool
+	phys    int16
+}
+
+type opState struct {
+	u         uop.MicroOp
+	cluster   int8
+	nSrc      int8
+	nFrees    int8
+	redirect  bool
+	inUse     bool
+	storePoll bool // store waiting for its data operand at completion
+	srcPhys   [2]int16
+	srcFP     [2]bool
+	dstPhys   int16
+	frees     [8]regFree
+	ref       rob.Ref
+	line      uint64
+	page      uint64
+}
+
+type copyState struct {
+	src, dst         int8
+	fp               bool
+	srcPhys, dstPhys int16
+	inUse            bool
+}
+
+type pipeEntry struct {
+	u     uop.MicroOp
+	ready uint64
+}
+
+type event struct {
+	cycle uint64
+	id    int32
+}
+
+// Processor is the whole simulated machine.
+type Processor struct {
+	cfg    Config
+	feeder Feeder
+
+	tc     *tcache.TraceCache
+	ul2    *cache.Cache
+	membus *interconnect.Group
+	disbus *interconnect.Group
+	net    *interconnect.Network
+
+	avail   *rename.AvailabilityTable
+	freeInt []*rename.FreeList
+	freeFP  []*rename.FreeList
+	maps    []*rename.MapTable
+	reorder *rob.ROB
+
+	clusters []*backend.Cluster
+	dl1      []*cache.Cache
+	dtlb     []*cache.Cache
+
+	// preference order for copy donors, per consumer cluster: same
+	// frontend first, then by link distance.
+	prefer [][]int
+
+	cycle uint64
+	slab  []opState
+	slabN uint64 // slab size
+
+	copies   []copyState
+	copyFree []int32
+
+	pipe      []pipeEntry // ring buffer
+	pipeHead  int
+	pipeCount int
+
+	pending         []uop.MicroOp // next trace line awaiting fetch
+	fetchStallUntil uint64
+	fetchBlocked    bool
+	genDone         bool
+	predictor       *bpred.Predictor // nil unless UseBranchPredictor
+	gateNum         int              // fetch duty cycle (DTM); 0 = ungated
+	gateDen         int
+
+	events eventHeap
+
+	pendingCommits []pendingCommit // commit effects delayed by the distributed latency
+	commitBuf      []int32
+
+	readyFns []backend.ReadyFunc // one per cluster
+
+	lastCommitCycle uint64
+
+	Stats Stats
+
+	// Frontend activity counters not owned by a sub-structure.
+	itlbAcc   uint64
+	bpAcc     uint64
+	decodeOps uint64
+}
+
+type pendingCommit struct {
+	applyAt uint64
+	id      int32
+}
+
+// New builds a processor for the configuration, drawing micro-ops from
+// the feeder.  It panics on an invalid configuration (use
+// Config.Validate to check first).
+func New(cfg Config, feeder Feeder) *Processor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Processor{cfg: cfg, feeder: feeder}
+	p.tc = tcache.New(cfg.TC)
+	p.ul2 = cache.New(cache.Config{Name: "UL2", SizeB: cfg.UL2SizeB, Ways: cfg.UL2Ways, LineB: cfg.LineB})
+	p.membus = interconnect.NewGroup(cfg.MemBuses, cfg.BusLatency, cfg.BusArbiter, 1)
+	p.disbus = interconnect.NewGroup(cfg.DisBuses, cfg.BusLatency, cfg.BusArbiter, 1)
+	p.net = interconnect.NewNetwork(cfg.Clusters, cfg.LinkWidth)
+	p.avail = rename.NewAvailabilityTable(cfg.Clusters)
+
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		p.freeInt = append(p.freeInt, rename.NewFreeList(cfg.Cluster.IntRegs))
+		p.freeFP = append(p.freeFP, rename.NewFreeList(cfg.Cluster.FPRegs))
+		p.maps = append(p.maps, rename.NewMapTable())
+		p.clusters = append(p.clusters, backend.NewCluster(cl, cfg.Cluster))
+		p.dl1 = append(p.dl1, cache.New(cache.Config{
+			Name: fmt.Sprintf("DL1-%d", cl), SizeB: cfg.DL1SizeB, Ways: cfg.DL1Ways, LineB: cfg.LineB,
+		}))
+		p.dtlb = append(p.dtlb, cache.New(cache.Config{
+			Name: fmt.Sprintf("DTLB-%d", cl), SizeB: cfg.DTLBSizeB, Ways: cfg.DTLBWays, LineB: cfg.PageB,
+		}))
+	}
+	p.reorder = rob.New(cfg.Frontends, cfg.ROBEntries/cfg.Frontends)
+
+	// Slab slots stay live until commit effects apply, which the
+	// distributed organization delays; size for the worst backlog.
+	p.slabN = uint64(2*cfg.ROBEntries + cfg.CommitWidth*(cfg.DistributedCommitExtra+2))
+	p.slab = make([]opState, p.slabN)
+	p.pipe = make([]pipeEntry, (cfg.FetchToDispatch+cfg.DecodeLatency+2)*cfg.FetchWidth)
+
+	// Architectural initial state: every logical register lives in
+	// cluster 0, mapped to a freshly allocated (and ready) physical
+	// register.
+	p.avail.Reset()
+	for r := int8(0); r < uop.NumLogicalRegs; r++ {
+		var phys int16
+		var ok bool
+		if uop.IsFPReg(r) {
+			phys, ok = p.freeFP[0].Alloc()
+		} else {
+			phys, ok = p.freeInt[0].Alloc()
+		}
+		if !ok {
+			panic("core: register file too small for architectural state")
+		}
+		p.maps[0].Set(r, phys)
+	}
+
+	// Donor preference per cluster: same frontend first (the paper's copy
+	// request is cheaper inside a frontend), then by ring distance.
+	p.prefer = make([][]int, cfg.Clusters)
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		var same, other []int
+		for c2 := 0; c2 < cfg.Clusters; c2++ {
+			if c2 == cl {
+				continue
+			}
+			if cfg.FrontendOf(c2) == cfg.FrontendOf(cl) {
+				same = append(same, c2)
+			} else {
+				other = append(other, c2)
+			}
+		}
+		sortByDistance := func(list []int) {
+			for i := 1; i < len(list); i++ {
+				for j := i; j > 0 && p.net.Distance(cl, list[j]) < p.net.Distance(cl, list[j-1]); j-- {
+					list[j], list[j-1] = list[j-1], list[j]
+				}
+			}
+		}
+		sortByDistance(same)
+		sortByDistance(other)
+		p.prefer[cl] = append([]int{cl}, append(same, other...)...)
+	}
+
+	if cfg.UseBranchPredictor {
+		bits := cfg.BPredBits
+		if bits == 0 {
+			bits = 14
+		}
+		p.predictor = bpred.New(bits)
+	}
+
+	p.readyFns = make([]backend.ReadyFunc, cfg.Clusters)
+	for cl := 0; cl < cfg.Clusters; cl++ {
+		cl := cl
+		p.readyFns[cl] = func(id int32, now uint64) (bool, uint64) {
+			return p.ready(cl, id, now)
+		}
+	}
+	return p
+}
+
+// Config returns the processor's configuration.
+func (p *Processor) Config() Config { return p.cfg }
+
+// Cycle returns the current cycle number.
+func (p *Processor) Cycle() uint64 { return p.cycle }
+
+// TraceCache exposes the trace cache, for interval reconfiguration by the
+// simulation driver.
+func (p *Processor) TraceCache() *tcache.TraceCache { return p.tc }
+
+// Predictor returns the branch predictor, or nil when the configuration
+// uses the workload's calibrated misprediction rates.
+func (p *Processor) Predictor() *bpred.Predictor { return p.predictor }
+
+// SetFetchGate throttles fetch to num cycles out of every den (dynamic
+// thermal management's fetch toggling).  num >= den or den <= 0 removes
+// the gate.
+func (p *Processor) SetFetchGate(num, den int) {
+	if den <= 0 || num >= den {
+		p.gateNum, p.gateDen = 0, 0
+		return
+	}
+	if num < 1 {
+		num = 1
+	}
+	p.gateNum, p.gateDen = num, den
+}
+
+// Done reports whether the workload is exhausted and the pipeline fully
+// drained.
+func (p *Processor) Done() bool {
+	return p.genDone && len(p.pending) == 0 && p.pipeCount == 0 &&
+		p.reorder.Occupancy() == 0 && len(p.events) == 0 && len(p.pendingCommits) == 0
+}
+
+// Step advances the machine by one clock cycle.
+func (p *Processor) Step() {
+	p.cycle++
+	now := p.cycle
+	p.applyPendingCommits(now)
+	p.drainEvents(now)
+	p.commit(now)
+	p.issueAll(now)
+	p.dispatch(now)
+	p.fetch(now)
+	p.Stats.Cycles = p.cycle
+	if p.reorder.Occupancy() > 0 && now-p.lastCommitCycle > 500000 {
+		id, _ := p.reorder.Head()
+		panic(fmt.Sprintf("core: no commit for %d cycles; head op %+v", now-p.lastCommitCycle, p.slab[id].u))
+	}
+}
+
+// Run executes until the workload finishes or maxCycles elapse (0 = no
+// limit); it returns the number of cycles executed.
+func (p *Processor) Run(maxCycles uint64) uint64 {
+	start := p.cycle
+	for !p.Done() {
+		if maxCycles > 0 && p.cycle-start >= maxCycles {
+			break
+		}
+		p.Step()
+	}
+	return p.cycle - start
+}
+
+// RunCycles executes exactly n cycles (or fewer if the workload drains).
+func (p *Processor) RunCycles(n uint64) {
+	for i := uint64(0); i < n && !p.Done(); i++ {
+		p.Step()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Events
+
+type eventHeap []event
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].cycle <= (*h)[i].cycle {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && old[l].cycle < old[small].cycle {
+			small = l
+		}
+		if r < n && old[r].cycle < old[small].cycle {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		old[i], old[small] = old[small], old[i]
+		i = small
+	}
+	return top
+}
+
+func (p *Processor) pushEvent(cycle uint64, id int32) {
+	p.events.push(event{cycle: cycle, id: id})
+}
+
+func (p *Processor) drainEvents(now uint64) {
+	for len(p.events) > 0 && p.events[0].cycle <= now {
+		e := p.events.pop()
+		p.completeOp(e.id, now)
+	}
+}
+
+// completeOp handles write-back: the op becomes ready to commit.
+func (p *Processor) completeOp(id int32, now uint64) {
+	op := &p.slab[id]
+	if op.storePoll {
+		rf := p.regfile(int(op.cluster), op.srcFP[1])
+		rt := rf.ReadyAt(op.srcPhys[1])
+		if rt > now {
+			// Data still in flight: re-arm at its ready time, or poll if
+			// its producer has not issued yet.
+			next := rt
+			if rt == backend.NeverReady {
+				next = now + 2
+			}
+			p.pushEvent(next, id)
+			return
+		}
+		op.storePoll = false
+	}
+	if op.u.Class == uop.Store && op.nSrc == 2 {
+		p.regfile(int(op.cluster), op.srcFP[1]).CountRead()
+	}
+	p.reorder.Complete(op.ref)
+	if op.redirect {
+		// The mispredicted branch resolved: redirect the frontend.
+		p.fetchBlocked = false
+		if until := now + uint64(p.cfg.RedirectPenalty); until > p.fetchStallUntil {
+			p.fetchStallUntil = until
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Commit
+
+func (p *Processor) commit(now uint64) {
+	p.commitBuf = p.reorder.Commit(p.cfg.CommitWidth, p.commitBuf[:0])
+	if len(p.commitBuf) == 0 {
+		return
+	}
+	p.lastCommitCycle = now
+	extra := uint64(0)
+	if p.cfg.Distributed() {
+		extra = uint64(p.cfg.DistributedCommitExtra)
+	}
+	for _, id := range p.commitBuf {
+		if extra == 0 {
+			p.commitEffects(id)
+		} else {
+			p.pendingCommits = append(p.pendingCommits, pendingCommit{applyAt: now + extra, id: id})
+		}
+	}
+}
+
+func (p *Processor) applyPendingCommits(now uint64) {
+	n := 0
+	for _, pc := range p.pendingCommits {
+		if pc.applyAt <= now {
+			p.commitEffects(pc.id)
+		} else {
+			p.pendingCommits[n] = pc
+			n++
+		}
+	}
+	p.pendingCommits = p.pendingCommits[:n]
+}
+
+// commitEffects releases the resources of a committed instruction: stale
+// physical registers, MOB slots, and — for stores — the data-cache write
+// with the write-update protocol of §2.
+func (p *Processor) commitEffects(id int32) {
+	op := &p.slab[id]
+	for i := int8(0); i < op.nFrees; i++ {
+		f := op.frees[i]
+		if f.fp {
+			p.freeFP[f.cluster].Free(f.phys)
+		} else {
+			p.freeInt[f.cluster].Free(f.phys)
+		}
+	}
+	if op.u.Class == uop.Store {
+		own := int(op.cluster)
+		if !p.dl1[own].Write(op.line) {
+			// Write-allocate: bring the line in.  Committed stores are off
+			// the critical path, so no pipeline stall is charged; the UL2
+			// access is recorded for power.
+			if !p.ul2.Read(op.line) {
+				p.ul2.Fill(op.line)
+			}
+			p.dl1[own].Fill(op.line)
+		}
+		for cl := range p.dl1 {
+			if cl != own {
+				p.dl1[cl].Update(op.line) // write-update of remote copies
+			}
+		}
+		p.ul2.Update(op.line)
+		for cl := range p.clusters {
+			p.clusters[cl].Mob.Release(op.u.Seq)
+		}
+	}
+	op.inUse = false
+	p.Stats.Committed++
+}
+
+// ---------------------------------------------------------------------
+// Issue and execute
+
+func (p *Processor) issueAll(now uint64) {
+	for cl := 0; cl < p.cfg.Clusters; cl++ {
+		cluster := p.clusters[cl]
+		for k := backend.QueueKind(0); k < backend.NumQueues; k++ {
+			q := cluster.Queues[k]
+			q.Advance(now)
+			id, ok := q.Issue(now, p.readyFns[cl])
+			if ok {
+				p.execute(cl, id, now)
+			}
+		}
+	}
+}
+
+// ready decides whether instruction id may issue in cluster cl at cycle
+// now; when not, it returns the earliest cycle worth re-checking.
+func (p *Processor) ready(cl int, id int32, now uint64) (bool, uint64) {
+	if id >= copyBase {
+		c := &p.copies[id-copyBase]
+		rf := p.regfile(int(c.src), c.fp)
+		at := rf.ReadyAt(c.srcPhys)
+		if at <= now {
+			return true, 0
+		}
+		if at == backend.NeverReady {
+			// The producer has not issued yet; re-check every cycle.
+			return false, now + 1
+		}
+		return false, at
+	}
+	op := &p.slab[id]
+	retry := uint64(0)
+	for s := int8(0); s < op.nSrc; s++ {
+		if op.u.Class == uop.Store && s == 1 {
+			// Stores issue their address generation as soon as the
+			// address operand is ready; the data operand is only needed
+			// to become ready-to-commit (store-address/store-data split).
+			continue
+		}
+		rf := p.regfile(cl, op.srcFP[s])
+		at := rf.ReadyAt(op.srcPhys[s])
+		if at > now {
+			if at == backend.NeverReady {
+				return false, now + 1
+			}
+			if at > retry {
+				retry = at
+			}
+		}
+	}
+	if retry > now {
+		return false, retry
+	}
+	switch op.u.Class {
+	case uop.IntDiv:
+		if !p.clusters[cl].IntFU.CanStart(now) {
+			return false, now + 1
+		}
+	case uop.FPDiv:
+		if !p.clusters[cl].FPFU.CanStart(now) {
+			return false, now + 1
+		}
+	case uop.Load:
+		if ok, _ := p.clusters[cl].Mob.Disambiguate(op.u.Seq, op.line, now); !ok {
+			return false, now + 1
+		}
+	}
+	return true, 0
+}
+
+func (p *Processor) regfile(cl int, fp bool) *backend.RegFile {
+	if fp {
+		return p.clusters[cl].FPRF
+	}
+	return p.clusters[cl].IntRF
+}
+
+func (p *Processor) execute(cl int, id int32, now uint64) {
+	if id >= copyBase {
+		p.executeCopy(id-copyBase, now)
+		return
+	}
+	op := &p.slab[id]
+	cluster := p.clusters[cl]
+	for s := int8(0); s < op.nSrc; s++ {
+		if op.u.Class == uop.Store && s == 1 {
+			continue // the data operand is read at completion
+		}
+		p.regfile(cl, op.srcFP[s]).CountRead()
+	}
+	var done uint64
+	switch op.u.Class {
+	case uop.Load:
+		done = p.executeLoad(op, cl, now)
+	case uop.Store:
+		done = p.executeStore(op, cl, now)
+	case uop.FPAdd, uop.FPMul, uop.FPDiv:
+		lat := op.u.Class.Latency()
+		cluster.FPFU.TryStart(now, lat, op.u.Class != uop.FPDiv)
+		done = now + uint64(lat)
+	default: // IntALU, IntMul, IntDiv, Branch
+		lat := op.u.Class.Latency()
+		cluster.IntFU.TryStart(now, lat, op.u.Class != uop.IntDiv)
+		done = now + uint64(lat)
+	}
+	if op.u.HasDst() {
+		p.regfile(cl, uop.IsFPReg(op.u.Dst)).SetReady(op.dstPhys, done)
+	}
+	p.pushEvent(done, id)
+}
+
+func (p *Processor) executeCopy(idx int32, now uint64) {
+	c := &p.copies[idx]
+	p.regfile(int(c.src), c.fp).CountRead()
+	arrive := p.net.Send(now+1, int(c.src), int(c.dst))
+	p.regfile(int(c.dst), c.fp).SetReady(c.dstPhys, arrive+1)
+	c.inUse = false
+	p.copyFree = append(p.copyFree, idx)
+}
+
+func (p *Processor) executeLoad(op *opState, cl int, now uint64) uint64 {
+	cluster := p.clusters[cl]
+	cluster.AgenOps++
+	t := now + 1 // address generation
+	if !p.dtlb[cl].Read(op.page) {
+		p.dtlb[cl].Fill(op.page)
+		t += uint64(p.cfg.DTLBMissLat)
+	}
+	_, fwd := cluster.Mob.Disambiguate(op.u.Seq, op.line, now)
+	cluster.Mob.CountSearch()
+	cluster.Mob.Release(op.u.Seq)
+	if fwd {
+		p.Stats.LoadForwards++
+		return t + 1
+	}
+	if p.dl1[cl].Read(op.line) {
+		return t + uint64(p.cfg.DL1HitLat)
+	}
+	p.Stats.LoadMisses++
+	busDone := p.membus.Request(t)
+	var fill uint64
+	if p.ul2.Read(op.line) {
+		fill = busDone + uint64(p.cfg.UL2HitLat)
+	} else {
+		p.ul2.Fill(op.line)
+		fill = busDone + uint64(p.cfg.MemLat)
+	}
+	// The line is written into the cache of the cluster where the
+	// requesting load resides (§2).
+	p.dl1[cl].Fill(op.line)
+	if p.cfg.NextLinePrefetch {
+		next := op.line + uint64(p.cfg.LineB)
+		if !p.dl1[cl].Lookup(next) {
+			if !p.ul2.Read(next) {
+				p.ul2.Fill(next)
+			}
+			p.dl1[cl].Fill(next)
+		}
+	}
+	return fill
+}
+
+func (p *Processor) executeStore(op *opState, cl int, now uint64) uint64 {
+	cluster := p.clusters[cl]
+	cluster.AgenOps++
+	t := now + 1 // address generation
+	if !p.dtlb[cl].Read(op.page) {
+		p.dtlb[cl].Fill(op.page)
+		t += uint64(p.cfg.DTLBMissLat)
+	}
+	// The address becomes visible locally right away and at the other
+	// clusters when the disambiguation-bus broadcast arrives (§2).
+	cluster.Mob.CountSearch()
+	cluster.Mob.SetAddr(op.u.Seq, op.line, t)
+	busDone := p.disbus.Request(t)
+	for c2 := range p.clusters {
+		if c2 != cl {
+			p.clusters[c2].Mob.SetAddr(op.u.Seq, op.line, busDone)
+		}
+	}
+	// The store is ready to commit once its data operand has also been
+	// produced; completeOp re-arms the event until then.
+	if op.nSrc == 2 {
+		rt := p.regfile(cl, op.srcFP[1]).ReadyAt(op.srcPhys[1])
+		switch {
+		case rt == backend.NeverReady:
+			op.storePoll = true
+		case rt > t:
+			t = rt
+		}
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+// Package dtm implements a dynamic thermal management controller — the
+// emergency mechanism the paper leaves as future work ("We have not
+// enabled any mechanism to be triggered at a thermal emergency (it is
+// part of our future work)").
+//
+// The controller follows the fetch-toggling approach of Skadron et al.
+// (the paper's reference [27]): when the peak block temperature crosses
+// the trigger threshold, fetch is throttled to a duty cycle proportional
+// to the overshoot; when the chip cools below the release threshold the
+// duty cycle recovers one step per interval.  The paper argues its
+// techniques reduce how often such mechanisms fire — the integration test
+// and the DTM ablation quantify exactly that.
+package dtm
+
+// Controller is the fetch-toggling thermal-emergency controller.
+type Controller struct {
+	cfg  Config
+	duty int // allowed fetch cycles out of DutyDen
+
+	// Stats.
+	Engagements    uint64 // transitions from full speed to throttled
+	ThrottledSteps uint64 // intervals spent below full duty
+	MinDuty        int
+}
+
+// Config parameterizes the controller.
+type Config struct {
+	// TriggerC engages throttling when the peak block temperature
+	// exceeds it (the paper's emergency limit is 381 K = 108°C).
+	TriggerC float64
+	// ReleaseC must be reached before the duty cycle recovers.
+	ReleaseC float64
+	// DutyDen is the duty-cycle denominator (granularity of throttling).
+	DutyDen int
+	// DegPerStep is the proportional gain: one duty step per this many
+	// degrees of overshoot.
+	DegPerStep float64
+	// MinDutyNum floors the duty cycle so the machine always retires
+	// forward progress.
+	MinDutyNum int
+}
+
+// DefaultConfig returns a controller tuned for the paper's 381 K
+// emergency limit.
+func DefaultConfig() Config {
+	return Config{
+		TriggerC:   108, // 381 K
+		ReleaseC:   104,
+		DutyDen:    8,
+		DegPerStep: 1.5,
+		MinDutyNum: 1,
+	}
+}
+
+// New builds a controller starting at full speed.
+func New(cfg Config) *Controller {
+	if cfg.DutyDen <= 0 {
+		cfg.DutyDen = 8
+	}
+	if cfg.MinDutyNum < 1 {
+		cfg.MinDutyNum = 1
+	}
+	if cfg.MinDutyNum > cfg.DutyDen {
+		cfg.MinDutyNum = cfg.DutyDen
+	}
+	if cfg.ReleaseC >= cfg.TriggerC {
+		cfg.ReleaseC = cfg.TriggerC - 2
+	}
+	if cfg.DegPerStep <= 0 {
+		cfg.DegPerStep = 1.5
+	}
+	c := &Controller{cfg: cfg, duty: cfg.DutyDen}
+	c.MinDuty = cfg.DutyDen
+	return c
+}
+
+// Duty returns the current duty cycle (num, den).
+func (c *Controller) Duty() (num, den int) { return c.duty, c.cfg.DutyDen }
+
+// Throttled reports whether the controller is currently limiting fetch.
+func (c *Controller) Throttled() bool { return c.duty < c.cfg.DutyDen }
+
+// Update feeds the controller the interval's peak block temperature and
+// returns the duty cycle to apply for the next interval.
+func (c *Controller) Update(peakC float64) (num, den int) {
+	switch {
+	case peakC > c.cfg.TriggerC:
+		// Proportional throttle: one step per DegPerStep of overshoot.
+		steps := int((peakC-c.cfg.TriggerC)/c.cfg.DegPerStep) + 1
+		target := c.cfg.DutyDen - steps
+		if target < c.cfg.MinDutyNum {
+			target = c.cfg.MinDutyNum
+		}
+		if c.duty == c.cfg.DutyDen && target < c.duty {
+			c.Engagements++
+		}
+		if target < c.duty {
+			c.duty = target
+		}
+	case peakC < c.cfg.ReleaseC && c.duty < c.cfg.DutyDen:
+		// Hysteresis: recover one step per cool interval.
+		c.duty++
+	}
+	if c.duty < c.MinDuty {
+		c.MinDuty = c.duty
+	}
+	if c.Throttled() {
+		c.ThrottledSteps++
+	}
+	return c.duty, c.cfg.DutyDen
+}

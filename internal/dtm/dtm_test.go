@@ -1,0 +1,108 @@
+package dtm
+
+import "testing"
+
+func TestStartsAtFullSpeed(t *testing.T) {
+	c := New(DefaultConfig())
+	num, den := c.Duty()
+	if num != den {
+		t.Fatalf("fresh controller throttled: %d/%d", num, den)
+	}
+	if c.Throttled() {
+		t.Fatal("fresh controller reports throttled")
+	}
+}
+
+func TestEngagesAboveTrigger(t *testing.T) {
+	c := New(DefaultConfig())
+	num, den := c.Update(112) // 4°C over the 108°C trigger
+	if num >= den {
+		t.Fatalf("no throttle at 112°C: %d/%d", num, den)
+	}
+	if c.Engagements != 1 {
+		t.Fatalf("engagements = %d", c.Engagements)
+	}
+}
+
+func TestProportionalResponse(t *testing.T) {
+	mild := New(DefaultConfig())
+	severe := New(DefaultConfig())
+	m, _ := mild.Update(109)
+	s, _ := severe.Update(120)
+	if s >= m {
+		t.Fatalf("severe overshoot throttled less: %d vs %d", s, m)
+	}
+}
+
+func TestFloorsAtMinDuty(t *testing.T) {
+	c := New(DefaultConfig())
+	num, _ := c.Update(400)
+	if num != DefaultConfig().MinDutyNum {
+		t.Fatalf("duty = %d, want floor %d", num, DefaultConfig().MinDutyNum)
+	}
+}
+
+func TestHysteresisRecovery(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Update(115)
+	start, den := c.Duty()
+	// Between release and trigger: hold.
+	c.Update(106)
+	if n, _ := c.Duty(); n != start {
+		t.Fatalf("duty moved inside the hysteresis band: %d", n)
+	}
+	// Below release: recover one step per interval.
+	c.Update(100)
+	n1, _ := c.Duty()
+	if n1 != start+1 {
+		t.Fatalf("recovery step = %d, want %d", n1, start+1)
+	}
+	for i := 0; i < 20; i++ {
+		c.Update(100)
+	}
+	if n, _ := c.Duty(); n != den {
+		t.Fatalf("did not recover to full speed: %d/%d", n, den)
+	}
+}
+
+func TestNoReengageCountWhileThrottled(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Update(115)
+	c.Update(116)
+	c.Update(117)
+	if c.Engagements != 1 {
+		t.Fatalf("engagements = %d, want 1 (continuous episode)", c.Engagements)
+	}
+	if c.ThrottledSteps != 3 {
+		t.Fatalf("throttled steps = %d", c.ThrottledSteps)
+	}
+}
+
+func TestMinDutyTracked(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Update(112)
+	c.Update(130)
+	if c.MinDuty >= DefaultConfig().DutyDen {
+		t.Fatal("MinDuty not tracked")
+	}
+}
+
+func TestConfigSanitization(t *testing.T) {
+	c := New(Config{TriggerC: 100, ReleaseC: 120, DutyDen: 0, MinDutyNum: -3})
+	num, den := c.Duty()
+	if den <= 0 || num != den {
+		t.Fatalf("sanitized controller broken: %d/%d", num, den)
+	}
+	// Release must have been forced below trigger: cooling at 99 after a
+	// trigger at 101 must eventually recover.
+	c.Update(101)
+	if !c.Throttled() {
+		t.Fatal("did not engage")
+	}
+	for i := 0; i < 20; i++ {
+		c.Update(90)
+	}
+	if c.Throttled() {
+		t.Fatal("never recovered with sanitized release")
+	}
+}

@@ -1,0 +1,308 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§4):
+//
+//   - Table 1:  the processor configuration.
+//   - Figure 1:  baseline temperature landscape (Processor / Frontend /
+//     Backend / UL2, peak and average rise over ambient).
+//   - Figure 12: distributed renaming and commit — ΔT reductions for the
+//     reorder buffer, rename table and trace cache, plus slowdown.
+//   - Figure 13: sub-banked trace cache — address biasing, blank silicon,
+//     bank hopping, hopping+biasing.
+//   - Figure 14: the combined distributed frontend.
+//
+// Each experiment runs a set of configurations over the SPEC2000 profile
+// suite, averages the paper's metrics across benchmarks (the paper
+// reports suite averages; "all of them follow the same trend"), and
+// renders rows shaped like the paper's plots.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options selects the benchmarks and simulation lengths.
+type Options struct {
+	// Benchmarks restricts the suite (nil = all 26 SPEC2000 profiles).
+	Benchmarks []string
+	// Sim carries the per-run simulation options.
+	Sim sim.Options
+}
+
+// DefaultOptions runs the full suite at the standard scaled lengths.
+func DefaultOptions() Options {
+	return Options{Sim: sim.DefaultOptions()}
+}
+
+// QuickOptions runs a 6-benchmark subset at reduced length; used by unit
+// tests and the benchmark harness.
+func QuickOptions() Options {
+	o := Options{Sim: sim.DefaultOptions()}
+	o.Sim.WarmupOps = 60_000
+	o.Sim.MeasureOps = 150_000
+	o.Benchmarks = []string{"gzip", "gcc", "mcf", "eon", "swim", "art"}
+	return o
+}
+
+func (o Options) profiles() []workload.Profile {
+	all := workload.SPEC2000()
+	if o.Benchmarks == nil {
+		return all
+	}
+	var out []workload.Profile
+	for _, name := range o.Benchmarks {
+		p, ok := workload.ByName(name)
+		if !ok {
+			panic("experiments: unknown benchmark " + name)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// UnitMetrics bundles the per-unit temperature triples of one run.
+type UnitMetrics struct {
+	ROB metrics.Triple
+	RAT metrics.Triple
+	TC  metrics.Triple
+}
+
+func unitMetrics(r *sim.Result) UnitMetrics {
+	return UnitMetrics{
+		ROB: r.Temps.Unit(floorplan.IsROB),
+		RAT: r.Temps.Unit(floorplan.IsRAT),
+		TC:  r.Temps.Unit(floorplan.IsTraceCache),
+	}
+}
+
+// TechniqueRow is one bar group of Figures 12-14: the suite-average
+// reductions for ROB, RAT and trace cache, plus the average slowdown.
+type TechniqueRow struct {
+	Name     string
+	ROB      metrics.Triple // reductions as fractions
+	RAT      metrics.Triple
+	TC       metrics.Triple
+	Slowdown float64
+	// TCHitLoss is the trace-cache hit-rate loss vs. the baseline
+	// (positive = lost hits), reported by §4.2.
+	TCHitLoss float64
+}
+
+// compareSuite runs baseline and technique configurations over the suite
+// and averages per-benchmark reductions and slowdowns.
+func compareSuite(base core.Config, techs []namedConfig, opt Options, progress io.Writer) []TechniqueRow {
+	profiles := opt.profiles()
+	rows := make([]TechniqueRow, len(techs))
+	for i := range rows {
+		rows[i].Name = techs[i].name
+	}
+	for _, prof := range profiles {
+		if progress != nil {
+			fmt.Fprintf(progress, "  %s", prof.Name)
+		}
+		baseRes := sim.Run(base, prof, opt.Sim)
+		baseUnits := unitMetrics(baseRes)
+		for i, tc := range techs {
+			res := sim.Run(tc.cfg, prof, opt.Sim)
+			u := unitMetrics(res)
+			rows[i].ROB = addTriple(rows[i].ROB, metrics.ReductionTriple(baseUnits.ROB, u.ROB))
+			rows[i].RAT = addTriple(rows[i].RAT, metrics.ReductionTriple(baseUnits.RAT, u.RAT))
+			rows[i].TC = addTriple(rows[i].TC, metrics.ReductionTriple(baseUnits.TC, u.TC))
+			rows[i].Slowdown += metrics.Slowdown(baseRes.MeasCycles, res.MeasCycles)
+			rows[i].TCHitLoss += baseRes.TCHitRate - res.TCHitRate
+		}
+	}
+	n := float64(len(profiles))
+	for i := range rows {
+		rows[i].ROB = scaleTriple(rows[i].ROB, 1/n)
+		rows[i].RAT = scaleTriple(rows[i].RAT, 1/n)
+		rows[i].TC = scaleTriple(rows[i].TC, 1/n)
+		rows[i].Slowdown /= n
+		rows[i].TCHitLoss /= n
+	}
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	return rows
+}
+
+type namedConfig struct {
+	name string
+	cfg  core.Config
+}
+
+func addTriple(a, b metrics.Triple) metrics.Triple {
+	return metrics.Triple{
+		AbsMax:  a.AbsMax + b.AbsMax,
+		Average: a.Average + b.Average,
+		AvgMax:  a.AvgMax + b.AvgMax,
+	}
+}
+
+func scaleTriple(a metrics.Triple, k float64) metrics.Triple {
+	return metrics.Triple{AbsMax: a.AbsMax * k, Average: a.Average * k, AvgMax: a.AvgMax * k}
+}
+
+// ---------------------------------------------------------------------
+// Figure 1
+
+// Figure1Result holds the baseline temperature landscape.
+type Figure1Result struct {
+	Processor metrics.Triple // rises over ambient, suite averages
+	Frontend  metrics.Triple
+	Backend   metrics.Triple
+	UL2       metrics.Triple
+	PerBench  map[string]UnitMetrics
+}
+
+// Figure1 reproduces the peak/average comparison of the processor
+// elements on the baseline configuration.
+func Figure1(opt Options, progress io.Writer) Figure1Result {
+	res := Figure1Result{PerBench: map[string]UnitMetrics{}}
+	profiles := opt.profiles()
+	isUL2 := func(n string) bool { return n == floorplan.UL2 }
+	for _, prof := range profiles {
+		if progress != nil {
+			fmt.Fprintf(progress, "  %s", prof.Name)
+		}
+		r := sim.Run(core.DefaultConfig(), prof, opt.Sim)
+		res.Processor = addTriple(res.Processor, r.Temps.Unit(nil))
+		res.Frontend = addTriple(res.Frontend, r.Temps.Unit(floorplan.IsFrontend))
+		res.Backend = addTriple(res.Backend, r.Temps.Unit(floorplan.IsBackend))
+		res.UL2 = addTriple(res.UL2, r.Temps.Unit(isUL2))
+		res.PerBench[prof.Name] = unitMetrics(r)
+	}
+	n := 1 / float64(len(profiles))
+	res.Processor = scaleTriple(res.Processor, n)
+	res.Frontend = scaleTriple(res.Frontend, n)
+	res.Backend = scaleTriple(res.Backend, n)
+	res.UL2 = scaleTriple(res.UL2, n)
+	if progress != nil {
+		fmt.Fprintln(progress)
+	}
+	return res
+}
+
+// Print renders Figure 1 as the paper's two bar groups.
+func (r Figure1Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 1. Temperature comparison of the processor elements")
+	fmt.Fprintln(w, "(increase over ambient, °C; suite average)")
+	fmt.Fprintf(w, "%-10s %8s %8s\n", "", "Peak", "Average")
+	rows := []struct {
+		name string
+		t    metrics.Triple
+	}{
+		{"Processor", r.Processor}, {"Frontend", r.Frontend},
+		{"Backend", r.Backend}, {"UL2", r.UL2},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10s %8.1f %8.1f\n", row.name, row.t.AbsMax, row.t.Average)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Figures 12, 13, 14
+
+// Figure12 reproduces the distributed renaming and commit evaluation.
+func Figure12(opt Options, progress io.Writer) []TechniqueRow {
+	base := core.DefaultConfig()
+	return compareSuite(base, []namedConfig{
+		{"Distributed Rename and Commit", base.WithDistributedFrontend(2)},
+	}, opt, progress)
+}
+
+// Figure13 reproduces the thermal-aware trace cache evaluation.
+func Figure13(opt Options, progress io.Writer) []TechniqueRow {
+	base := core.DefaultConfig()
+	return compareSuite(base, []namedConfig{
+		{"Address Biasing", base.WithBiasedMapping()},
+		{"Blank silicon", base.WithBlankSilicon()},
+		{"Bank Hopping", base.WithBankHopping()},
+		{"Bank Hopping + Address Biasing", base.WithBankHopping().WithBiasedMapping()},
+	}, opt, progress)
+}
+
+// Figure14 reproduces the combined distributed frontend evaluation.
+func Figure14(opt Options, progress io.Writer) []TechniqueRow {
+	base := core.DefaultConfig()
+	return compareSuite(base, []namedConfig{
+		{"Bank Hopping + Address Biasing", base.WithBankHopping().WithBiasedMapping()},
+		{"Distributed Rename and Commit", base.WithDistributedFrontend(2)},
+		{"Distributed Rename and Commit + Bank Hopping + Address Biasing",
+			base.WithDistributedFrontend(2).WithBankHopping().WithBiasedMapping()},
+	}, opt, progress)
+}
+
+// PrintRows renders technique rows in the layout of Figures 12-14.
+func PrintRows(w io.Writer, title string, rows []TechniqueRow) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, "(reduction of the temperature rise over ambient, %; suite average)")
+	fmt.Fprintf(w, "%-64s %-24s %-24s %-24s %9s\n", "",
+		"Reorder Buffer", "Rename Table", "Trace Cache", "Slowdown")
+	fmt.Fprintf(w, "%-64s %7s %8s %7s  %7s %8s %7s  %7s %8s %7s\n", "",
+		"AbsMax", "Average", "AvgMax", "AbsMax", "Average", "AvgMax", "AbsMax", "Average", "AvgMax")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-64s %6.1f%% %7.1f%% %6.1f%%  %6.1f%% %7.1f%% %6.1f%%  %6.1f%% %7.1f%% %6.1f%%   %6.2f%%\n",
+			r.Name,
+			r.ROB.AbsMax*100, r.ROB.Average*100, r.ROB.AvgMax*100,
+			r.RAT.AbsMax*100, r.RAT.Average*100, r.RAT.AvgMax*100,
+			r.TC.AbsMax*100, r.TC.Average*100, r.TC.AvgMax*100,
+			r.Slowdown*100)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Table 1
+
+// Table1 renders the processor configuration as in the paper.
+func Table1(w io.Writer) {
+	cfg := core.DefaultConfig()
+	fmt.Fprintln(w, "Table 1. Processor configuration")
+	fmt.Fprintln(w, "Frontend")
+	fmt.Fprintf(w, "  Trace cache/Fetch      %d traces/bank x %d banks, %d-way, %d cycle fetch-to-dispatch latency\n",
+		cfg.TC.TracesPerBank, cfg.TC.Banks, cfg.TC.Ways, cfg.FetchToDispatch)
+	fmt.Fprintf(w, "  Decode, rename, steer  %d cycles (regardless of the destination cluster)\n", cfg.DecodeLatency)
+	fmt.Fprintf(w, "  UL2                    %d MB/%d-way, %d cycle hit, %d+ miss\n",
+		cfg.UL2SizeB>>20, cfg.UL2Ways, cfg.UL2HitLat, cfg.MemLat)
+	fmt.Fprintf(w, "  Communications         %d memory buses, %d disambiguation buses, %d-cycle latency + %d-cycle arbiter,\n",
+		cfg.MemBuses, cfg.DisBuses, cfg.BusLatency, cfg.BusArbiter)
+	fmt.Fprintf(w, "                         %d bidirectional p2p link (1 cycle per hop; 2 from side to side of the chip)\n",
+		cfg.LinkWidth)
+	fmt.Fprintln(w, "Each backend")
+	fmt.Fprintf(w, "  Queues                 %d-entry IQueue 1 inst/cycle, %d-entry FPQueue 1 inst/cycle, %d-entry CopyQueue\n",
+		cfg.Cluster.IntQ, cfg.Cluster.FPQ, cfg.Cluster.CopyQ)
+	fmt.Fprintf(w, "                         1 inst/cycle, %d-entry MemQueue 1 inst/cycle, %d cycle dispatch latency;\n",
+		cfg.Cluster.MemQ, cfg.DispatchLatency)
+	fmt.Fprintf(w, "                         %d entries per prescheduler queue\n", cfg.Cluster.Prescheduler)
+	fmt.Fprintf(w, "  Register file          %d int. registers and %d FP registers\n",
+		cfg.Cluster.IntRegs, cfg.Cluster.FPRegs)
+	fmt.Fprintf(w, "  Data cache             %d KB/%d-way, %d cycle hit, write update\n",
+		cfg.DL1SizeB>>10, cfg.DL1Ways, cfg.DL1HitLat)
+	fmt.Fprintf(w, "Widths                   fetch/dispatch/commit up to %d micro-ops per cycle\n", cfg.FetchWidth)
+	fmt.Fprintf(w, "Reorder buffer           %d entries\n", cfg.ROBEntries)
+}
+
+// SuiteNames returns the benchmark names an Options selects, sorted.
+func SuiteNames(opt Options) []string {
+	var names []string
+	for _, p := range opt.profiles() {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Banner renders a section separator used by cmd/experiments.
+func Banner(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", 100))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 100))
+}

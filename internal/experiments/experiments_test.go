@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyOptions keeps the suite tests fast: two contrasting benchmarks at
+// short length.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Benchmarks = []string{"gzip", "swim"}
+	o.Sim.WarmupOps = 30_000
+	o.Sim.MeasureOps = 80_000
+	return o
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := Figure1(tinyOptions(), nil)
+	// Figure 1 ordering: frontend among the hottest, UL2 the coolest.
+	if r.Frontend.AbsMax < r.Processor.AbsMax*0.9 {
+		t.Errorf("frontend peak %v far below processor peak %v", r.Frontend.AbsMax, r.Processor.AbsMax)
+	}
+	if r.UL2.AbsMax >= r.Frontend.AbsMax {
+		t.Errorf("UL2 peak %v >= frontend peak %v", r.UL2.AbsMax, r.Frontend.AbsMax)
+	}
+	if r.UL2.Average >= r.Frontend.Average {
+		t.Errorf("UL2 average %v >= frontend average %v", r.UL2.Average, r.Frontend.Average)
+	}
+	if r.Processor.AbsMax <= 0 || r.Processor.Average <= 0 {
+		t.Error("non-positive rises")
+	}
+	if len(r.PerBench) != 2 {
+		t.Errorf("per-benchmark results missing: %d", len(r.PerBench))
+	}
+	var sb strings.Builder
+	r.Print(&sb)
+	if !strings.Contains(sb.String(), "Processor") || !strings.Contains(sb.String(), "UL2") {
+		t.Error("Print output incomplete")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rows := Figure12(tinyOptions(), nil)
+	if len(rows) != 1 {
+		t.Fatalf("Figure 12 rows = %d", len(rows))
+	}
+	r := rows[0]
+	// §4.1: drastic ROB/RAT reductions at small slowdown.
+	if r.ROB.AbsMax < 0.10 || r.RAT.AbsMax < 0.10 {
+		t.Errorf("ROB/RAT peak reductions too small: %+v %+v", r.ROB, r.RAT)
+	}
+	if r.ROB.Average < 0.10 || r.RAT.Average < 0.10 {
+		t.Errorf("ROB/RAT average reductions too small")
+	}
+	// Indirect TC benefit from heat spreading must not be negative-large.
+	if r.TC.AbsMax < -0.05 {
+		t.Errorf("TC peak got much worse: %v", r.TC.AbsMax)
+	}
+	if r.Slowdown < -0.01 || r.Slowdown > 0.10 {
+		t.Errorf("slowdown %.3f outside plausible band (paper: 2%%)", r.Slowdown)
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rows := Figure13(tinyOptions(), nil)
+	if len(rows) != 4 {
+		t.Fatalf("Figure 13 rows = %d", len(rows))
+	}
+	byName := map[string]TechniqueRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	bias := byName["Address Biasing"]
+	hop := byName["Bank Hopping"]
+	hopBias := byName["Bank Hopping + Address Biasing"]
+	blank := byName["Blank silicon"]
+
+	// Biasing alone: spreads but does not reduce activity — the average
+	// barely moves (§4.2).
+	if bias.TC.Average > 0.10 || bias.TC.Average < -0.10 {
+		t.Errorf("biasing TC average moved too much: %v", bias.TC.Average)
+	}
+	// Hopping reduces the TC average markedly (paper: 17%).
+	if hop.TC.Average < 0.08 {
+		t.Errorf("hopping TC average reduction %.1f%% too small", hop.TC.Average*100)
+	}
+	// Hopping also cools the RAT through heat spreading (paper: 15-16%).
+	if hop.RAT.Average < 0.03 {
+		t.Errorf("hopping RAT average reduction %.1f%% too small", hop.RAT.Average*100)
+	}
+	// The proposed techniques outperform blank silicon on the TC average.
+	if hop.TC.Average <= blank.TC.Average {
+		t.Errorf("hopping (%v) does not beat blank silicon (%v)", hop.TC.Average, blank.TC.Average)
+	}
+	// Combination: slowdown stays small (paper: 4%).
+	if hopBias.Slowdown > 0.12 {
+		t.Errorf("hop+bias slowdown %.1f%% too large", hopBias.Slowdown*100)
+	}
+	// Hit-ratio loss from hopping is small (paper: <1%).
+	if hop.TCHitLoss > 0.05 {
+		t.Errorf("hopping hit loss %.3f too large", hop.TCHitLoss)
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	rows := Figure14(tinyOptions(), nil)
+	if len(rows) != 3 {
+		t.Fatalf("Figure 14 rows = %d", len(rows))
+	}
+	combined := rows[2]
+	distOnly := rows[1]
+	tcOnly := rows[0]
+	// The combination is synergistic: it must beat either technique alone
+	// on the trace cache and be at least comparable on ROB/RAT.
+	if combined.TC.Average <= tcOnly.TC.Average-0.02 {
+		t.Errorf("combined TC average %.2f worse than TC-only %.2f",
+			combined.TC.Average, tcOnly.TC.Average)
+	}
+	if combined.ROB.AbsMax < distOnly.ROB.AbsMax-0.05 {
+		t.Errorf("combined ROB %.2f much worse than distributed-only %.2f",
+			combined.ROB.AbsMax, distOnly.ROB.AbsMax)
+	}
+	if combined.TC.AbsMax < 0.08 {
+		t.Errorf("combined TC peak reduction %.1f%% too small (paper: 25%%)", combined.TC.AbsMax*100)
+	}
+}
+
+func TestPrintRows(t *testing.T) {
+	rows := []TechniqueRow{{Name: "X", Slowdown: 0.02}}
+	var sb strings.Builder
+	PrintRows(&sb, "title", rows)
+	out := sb.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "X") ||
+		!strings.Contains(out, "2.00%") {
+		t.Errorf("PrintRows output wrong:\n%s", out)
+	}
+}
+
+func TestTable1Contents(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb)
+	out := sb.String()
+	for _, want := range []string{"2 MB/8-way", "12 cycle hit", "500+ miss",
+		"40-entry IQueue", "96-entry MemQueue", "160 int. registers",
+		"16 KB/2-way", "write update", "8 micro-ops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+}
+
+func TestSuiteSelection(t *testing.T) {
+	if n := len(SuiteNames(DefaultOptions())); n != 26 {
+		t.Errorf("full suite = %d benchmarks, want 26", n)
+	}
+	if n := len(SuiteNames(QuickOptions())); n != 6 {
+		t.Errorf("quick suite = %d", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown benchmark did not panic")
+		}
+	}()
+	bad := Options{Benchmarks: []string{"nosuch"}}
+	bad.profiles()
+}
+
+func TestBanner(t *testing.T) {
+	var sb strings.Builder
+	Banner(&sb, "hello")
+	if !strings.Contains(sb.String(), "hello") || !strings.Contains(sb.String(), "====") {
+		t.Error("banner malformed")
+	}
+}

@@ -1,0 +1,201 @@
+// Package interconnect models the communication fabric of the clustered
+// processor (Table 1 of the paper): two memory buses and two
+// disambiguation buses with 4-cycle transfer latency plus a 1-cycle
+// arbiter, and two bidirectional point-to-point links connecting
+// neighbouring clusters at 1 cycle per hop (2 cycles from side to side of
+// the chip, i.e. the four clusters form a ring).
+//
+// All models are contention-aware but conservative: a transfer occupies a
+// bus (or a link hop) for a configurable number of cycles, and requests
+// are served in arrival order.
+package interconnect
+
+// BusStats counts bus traffic.
+type BusStats struct {
+	Transfers uint64
+	WaitSum   uint64 // cycles spent waiting for grant (queueing)
+}
+
+// AvgWait returns the mean queueing delay per transfer.
+func (s *BusStats) AvgWait() float64 {
+	if s.Transfers == 0 {
+		return 0
+	}
+	return float64(s.WaitSum) / float64(s.Transfers)
+}
+
+// Bus is a single shared bus with an arbiter.
+type Bus struct {
+	latency   uint64 // transfer latency once granted
+	arbiter   uint64 // arbitration latency
+	occupancy uint64 // cycles the bus stays busy per transfer
+	nextFree  uint64
+	Stats     BusStats
+}
+
+// NewBus returns a bus with the given latencies.  occupancy <= 0 is
+// treated as 1 (fully pipelined transfers).
+func NewBus(latency, arbiter, occupancy int) *Bus {
+	if occupancy <= 0 {
+		occupancy = 1
+	}
+	return &Bus{latency: uint64(latency), arbiter: uint64(arbiter), occupancy: uint64(occupancy)}
+}
+
+// Request schedules a transfer issued at cycle now and returns the cycle
+// at which the transfer completes at the destination.
+func (b *Bus) Request(now uint64) (done uint64) {
+	grant := now + b.arbiter
+	if b.nextFree > grant {
+		b.Stats.WaitSum += b.nextFree - grant
+		grant = b.nextFree
+	}
+	b.nextFree = grant + b.occupancy
+	b.Stats.Transfers++
+	return grant + b.latency
+}
+
+// Group is a set of identical buses; each request is steered to the bus
+// that can grant it earliest (Table 1 provides two of each bus kind).
+type Group struct {
+	buses []*Bus
+}
+
+// NewGroup builds n identical buses.
+func NewGroup(n, latency, arbiter, occupancy int) *Group {
+	g := &Group{}
+	for i := 0; i < n; i++ {
+		g.buses = append(g.buses, NewBus(latency, arbiter, occupancy))
+	}
+	return g
+}
+
+// Request schedules a transfer on the least-loaded bus of the group.
+func (g *Group) Request(now uint64) (done uint64) {
+	best := g.buses[0]
+	for _, b := range g.buses[1:] {
+		if b.nextFree < best.nextFree {
+			best = b
+		}
+	}
+	return best.Request(now)
+}
+
+// Stats returns the aggregate statistics of the group.
+func (g *Group) Stats() BusStats {
+	var s BusStats
+	for _, b := range g.buses {
+		s.Transfers += b.Stats.Transfers
+		s.WaitSum += b.Stats.WaitSum
+	}
+	return s
+}
+
+// NetStats counts point-to-point traffic.
+type NetStats struct {
+	Messages uint64
+	HopSum   uint64
+	WaitSum  uint64
+}
+
+// AvgHops returns the mean hop count per message.
+func (s *NetStats) AvgHops() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.HopSum) / float64(s.Messages)
+}
+
+// Network is the ring of point-to-point links between clusters.  Each
+// neighbouring pair is connected by `width` parallel bidirectional links;
+// each link direction carries one message per cycle, and each hop costs
+// one cycle (Table 1).
+type Network struct {
+	clusters int
+	width    int
+	// nextFree[hop][dir][link]: hop h connects cluster h and (h+1)%n;
+	// dir 0 = forward (increasing index), 1 = backward.
+	nextFree [][][]uint64
+	Stats    NetStats
+}
+
+// NewNetwork builds a ring network over n clusters with `width` parallel
+// links per hop.  A single cluster yields a degenerate network where every
+// transfer is local (0 hops).
+func NewNetwork(n, width int) *Network {
+	if n < 1 {
+		panic("interconnect: need at least one cluster")
+	}
+	if width < 1 {
+		width = 1
+	}
+	nw := &Network{clusters: n, width: width}
+	nw.nextFree = make([][][]uint64, n)
+	for h := range nw.nextFree {
+		nw.nextFree[h] = make([][]uint64, 2)
+		for d := range nw.nextFree[h] {
+			nw.nextFree[h][d] = make([]uint64, width)
+		}
+	}
+	return nw
+}
+
+// Clusters returns the number of clusters on the ring.
+func (n *Network) Clusters() int { return n.clusters }
+
+// Distance returns the hop count between two clusters on the ring.
+func (n *Network) Distance(from, to int) int {
+	d := from - to
+	if d < 0 {
+		d = -d
+	}
+	if alt := n.clusters - d; alt < d {
+		d = alt
+	}
+	return d
+}
+
+// Send schedules a message from cluster `from` to cluster `to`, departing
+// at cycle now, and returns its arrival cycle.  Link contention delays the
+// message at each hop.
+func (n *Network) Send(now uint64, from, to int) (arrive uint64) {
+	if from == to {
+		return now
+	}
+	n.Stats.Messages++
+	// Choose ring direction with the fewer hops (ties go forward).
+	fwd := (to - from + n.clusters) % n.clusters
+	bwd := (from - to + n.clusters) % n.clusters
+	dir, steps := 0, fwd
+	if bwd < fwd {
+		dir, steps = 1, bwd
+	}
+	t := now
+	c := from
+	for s := 0; s < steps; s++ {
+		var hop int
+		if dir == 0 {
+			hop = c
+			c = (c + 1) % n.clusters
+		} else {
+			hop = (c - 1 + n.clusters) % n.clusters
+			c = hop
+		}
+		slots := n.nextFree[hop][dir]
+		best := 0
+		for l := 1; l < len(slots); l++ {
+			if slots[l] < slots[best] {
+				best = l
+			}
+		}
+		depart := t
+		if slots[best] > depart {
+			n.Stats.WaitSum += slots[best] - depart
+			depart = slots[best]
+		}
+		slots[best] = depart + 1
+		t = depart + 1
+		n.Stats.HopSum++
+	}
+	return t
+}

@@ -1,0 +1,169 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBusUncontended(t *testing.T) {
+	// Table 1: 4-cycle latency + 1-cycle arbiter.
+	b := NewBus(4, 1, 1)
+	if done := b.Request(10); done != 15 {
+		t.Fatalf("done = %d, want 15", done)
+	}
+	if b.Stats.Transfers != 1 || b.Stats.WaitSum != 0 {
+		t.Fatalf("stats = %+v", b.Stats)
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	b := NewBus(4, 1, 2)
+	d1 := b.Request(0) // grant 1, done 5, busy until 3
+	d2 := b.Request(0) // grant 3, done 7
+	d3 := b.Request(0) // grant 5, done 9
+	if d1 != 5 || d2 != 7 || d3 != 9 {
+		t.Fatalf("done = %d,%d,%d; want 5,7,9", d1, d2, d3)
+	}
+	if b.Stats.WaitSum != 2+4 {
+		t.Fatalf("wait = %d, want 6", b.Stats.WaitSum)
+	}
+}
+
+func TestBusFreesUp(t *testing.T) {
+	b := NewBus(4, 1, 1)
+	b.Request(0)
+	if done := b.Request(100); done != 105 {
+		t.Fatalf("later request delayed: done = %d", done)
+	}
+	if b.Stats.AvgWait() != 0 {
+		t.Fatalf("avg wait = %v", b.Stats.AvgWait())
+	}
+}
+
+func TestGroupSpreadsLoad(t *testing.T) {
+	// Two buses: two simultaneous requests should not queue.
+	g := NewGroup(2, 4, 1, 2)
+	d1 := g.Request(0)
+	d2 := g.Request(0)
+	if d1 != 5 || d2 != 5 {
+		t.Fatalf("done = %d,%d; want 5,5 on two buses", d1, d2)
+	}
+	d3 := g.Request(0) // must queue behind one of them
+	if d3 != 7 {
+		t.Fatalf("third request done = %d, want 7", d3)
+	}
+	if s := g.Stats(); s.Transfers != 3 {
+		t.Fatalf("group stats = %+v", s)
+	}
+}
+
+func TestRingDistance(t *testing.T) {
+	n := NewNetwork(4, 2)
+	// Table 1: 1 cycle per hop; 2 from side to side → ring of 4.
+	cases := []struct{ from, to, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 2}, {0, 3, 1},
+		{1, 3, 2}, {2, 0, 2}, {3, 0, 1},
+	}
+	for _, c := range cases {
+		if d := n.Distance(c.from, c.to); d != c.want {
+			t.Errorf("Distance(%d,%d) = %d, want %d", c.from, c.to, d, c.want)
+		}
+	}
+}
+
+func TestSendLatency(t *testing.T) {
+	n := NewNetwork(4, 2)
+	if a := n.Send(10, 0, 0); a != 10 {
+		t.Fatalf("local send took time: %d", a)
+	}
+	if a := n.Send(10, 0, 1); a != 11 {
+		t.Fatalf("1-hop send arrive = %d, want 11", a)
+	}
+	if a := n.Send(10, 0, 2); a != 12 {
+		t.Fatalf("2-hop send arrive = %d, want 12", a)
+	}
+	if a := n.Send(10, 3, 0); a != 11 {
+		t.Fatalf("wraparound send arrive = %d, want 11", a)
+	}
+}
+
+func TestLinkContention(t *testing.T) {
+	n := NewNetwork(4, 1) // single link per hop
+	a1 := n.Send(0, 0, 1)
+	a2 := n.Send(0, 0, 1)
+	if a1 != 1 || a2 != 2 {
+		t.Fatalf("arrivals = %d,%d; want 1,2", a1, a2)
+	}
+	// Opposite direction is independent (bidirectional links).
+	if a := n.Send(0, 1, 0); a != 1 {
+		t.Fatalf("reverse direction delayed: %d", a)
+	}
+}
+
+func TestParallelLinksWidth(t *testing.T) {
+	n := NewNetwork(4, 2) // Table 1: 2 p2p links
+	a1 := n.Send(0, 0, 1)
+	a2 := n.Send(0, 0, 1)
+	a3 := n.Send(0, 0, 1)
+	if a1 != 1 || a2 != 1 || a3 != 2 {
+		t.Fatalf("arrivals = %d,%d,%d; want 1,1,2", a1, a2, a3)
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	n := NewNetwork(4, 2)
+	n.Send(0, 0, 2)
+	n.Send(0, 1, 2)
+	if n.Stats.Messages != 2 || n.Stats.HopSum != 3 {
+		t.Fatalf("stats = %+v", n.Stats)
+	}
+	if h := n.Stats.AvgHops(); h != 1.5 {
+		t.Fatalf("avg hops = %v", h)
+	}
+}
+
+func TestSingleClusterDegenerate(t *testing.T) {
+	n := NewNetwork(1, 2)
+	if a := n.Send(5, 0, 0); a != 5 {
+		t.Fatalf("degenerate network delayed local send: %d", a)
+	}
+}
+
+func TestNetworkPanicsOnZeroClusters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewNetwork(0, 1) did not panic")
+		}
+	}()
+	NewNetwork(0, 1)
+}
+
+// Property: arrival time is never before departure plus hop distance.
+func TestQuickSendLowerBound(t *testing.T) {
+	n := NewNetwork(4, 2)
+	f := func(now uint64, from, to uint8) bool {
+		now %= 1 << 40
+		f4, t4 := int(from%4), int(to%4)
+		a := n.Send(now, f4, t4)
+		return a >= now+uint64(n.Distance(f4, t4))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bus completion is monotone for monotone request times.
+func TestQuickBusMonotone(t *testing.T) {
+	b := NewBus(4, 1, 1)
+	var lastReq, lastDone uint64
+	f := func(step uint16) bool {
+		lastReq += uint64(step)
+		done := b.Request(lastReq)
+		ok := done >= lastDone && done >= lastReq+5
+		lastDone = done
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package metrics computes the paper's temperature metrics (§4):
+//
+//   - AbsMax:  peak temperature over time and space,
+//   - Average: average temperature over time and space,
+//   - AvgMax:  average of the per-interval maximum temperatures,
+//
+// all expressed as the rise over the 45°C ambient, and the relative
+// reductions between configurations ("temperature improvements are
+// measured as the reduction on the temperature increase over ambient").
+package metrics
+
+import "fmt"
+
+// Series records per-block temperatures over simulation intervals.
+type Series struct {
+	names   []string
+	areas   []float64
+	ambient float64
+	samples [][]float64 // [interval][block] temperatures in °C
+}
+
+// NewSeries creates a series for the given block names/areas and ambient.
+func NewSeries(names []string, areas []float64, ambient float64) *Series {
+	if len(names) != len(areas) {
+		panic("metrics: names and areas length mismatch")
+	}
+	return &Series{names: names, areas: areas, ambient: ambient}
+}
+
+// Add appends one interval's temperatures (copied).
+func (s *Series) Add(temps []float64) {
+	if len(temps) != len(s.names) {
+		panic(fmt.Sprintf("metrics: sample has %d blocks, want %d", len(temps), len(s.names)))
+	}
+	cp := make([]float64, len(temps))
+	copy(cp, temps)
+	s.samples = append(s.samples, cp)
+}
+
+// Intervals returns the number of recorded samples.
+func (s *Series) Intervals() int { return len(s.samples) }
+
+// Names returns the block names.
+func (s *Series) Names() []string { return s.names }
+
+// Ambient returns the ambient temperature.
+func (s *Series) Ambient() float64 { return s.ambient }
+
+// indices resolves a block filter into indices; a nil filter selects all.
+func (s *Series) indices(filter func(string) bool) []int {
+	var idx []int
+	for i, n := range s.names {
+		if filter == nil || filter(n) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// AbsMax returns the peak rise over ambient across time and the selected
+// blocks.
+func (s *Series) AbsMax(filter func(string) bool) float64 {
+	idx := s.indices(filter)
+	peak := 0.0
+	for _, sample := range s.samples {
+		for _, i := range idx {
+			if r := sample[i] - s.ambient; r > peak {
+				peak = r
+			}
+		}
+	}
+	return peak
+}
+
+// Average returns the rise over ambient averaged over time and, area-
+// weighted, over the selected blocks.
+func (s *Series) Average(filter func(string) bool) float64 {
+	idx := s.indices(filter)
+	if len(idx) == 0 || len(s.samples) == 0 {
+		return 0
+	}
+	areaSum := 0.0
+	for _, i := range idx {
+		areaSum += s.areas[i]
+	}
+	total := 0.0
+	for _, sample := range s.samples {
+		w := 0.0
+		for _, i := range idx {
+			w += (sample[i] - s.ambient) * s.areas[i]
+		}
+		total += w / areaSum
+	}
+	return total / float64(len(s.samples))
+}
+
+// AvgMax returns the mean over intervals of the per-interval maximum rise
+// across the selected blocks.
+func (s *Series) AvgMax(filter func(string) bool) float64 {
+	idx := s.indices(filter)
+	if len(idx) == 0 || len(s.samples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, sample := range s.samples {
+		m := -1e30
+		for _, i := range idx {
+			if r := sample[i] - s.ambient; r > m {
+				m = r
+			}
+		}
+		total += m
+	}
+	return total / float64(len(s.samples))
+}
+
+// Triple bundles the three §4 metrics for one unit.
+type Triple struct {
+	AbsMax  float64
+	Average float64
+	AvgMax  float64
+}
+
+// Unit computes all three metrics for the blocks selected by filter.
+func (s *Series) Unit(filter func(string) bool) Triple {
+	return Triple{
+		AbsMax:  s.AbsMax(filter),
+		Average: s.Average(filter),
+		AvgMax:  s.AvgMax(filter),
+	}
+}
+
+// Reduction returns the relative reduction of the rise over ambient from
+// base to new, as a fraction (0.32 = 32%): the paper's improvement
+// metric.
+func Reduction(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - new) / base
+}
+
+// ReductionTriple applies Reduction metric-wise.
+func ReductionTriple(base, new Triple) Triple {
+	return Triple{
+		AbsMax:  Reduction(base.AbsMax, new.AbsMax),
+		Average: Reduction(base.Average, new.Average),
+		AvgMax:  Reduction(base.AvgMax, new.AvgMax),
+	}
+}
+
+// Slowdown returns cyclesNew/cyclesBase - 1 (0.02 = 2% slower).
+func Slowdown(cyclesBase, cyclesNew uint64) float64 {
+	if cyclesBase == 0 {
+		return 0
+	}
+	return float64(cyclesNew)/float64(cyclesBase) - 1
+}
+
+// PerInterval returns the temperatures recorded at interval i.  The
+// returned slice is owned by the series; callers must not modify it.
+func (s *Series) PerInterval(i int) []float64 { return s.samples[i] }

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func series() *Series {
+	s := NewSeries([]string{"A", "B", "C"}, []float64{1, 1, 2}, 45)
+	s.Add([]float64{55, 65, 50}) // rises 10, 20, 5
+	s.Add([]float64{75, 55, 50}) // rises 30, 10, 5
+	return s
+}
+
+func TestAbsMax(t *testing.T) {
+	s := series()
+	if v := s.AbsMax(nil); v != 30 {
+		t.Errorf("AbsMax all = %v, want 30", v)
+	}
+	onlyB := func(n string) bool { return n == "B" }
+	if v := s.AbsMax(onlyB); v != 20 {
+		t.Errorf("AbsMax B = %v, want 20", v)
+	}
+}
+
+func TestAverageAreaWeighted(t *testing.T) {
+	s := series()
+	// Interval rises: (10+20+2*5)/4 = 10; (30+10+2*5)/4 = 12.5 → 11.25.
+	if v := s.Average(nil); math.Abs(v-11.25) > 1e-9 {
+		t.Errorf("Average = %v, want 11.25", v)
+	}
+}
+
+func TestAvgMax(t *testing.T) {
+	s := series()
+	// Per-interval maxima: 20, 30 → 25.
+	if v := s.AvgMax(nil); v != 25 {
+		t.Errorf("AvgMax = %v, want 25", v)
+	}
+}
+
+func TestUnitTriple(t *testing.T) {
+	s := series()
+	tr := s.Unit(nil)
+	if tr.AbsMax != 30 || tr.AvgMax != 25 {
+		t.Errorf("Unit = %+v", tr)
+	}
+	if tr.AbsMax < tr.AvgMax {
+		t.Error("AbsMax < AvgMax is impossible")
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	s := series()
+	none := func(string) bool { return false }
+	if s.Average(none) != 0 || s.AvgMax(none) != 0 || s.AbsMax(none) != 0 {
+		t.Error("empty filter must yield zero metrics")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(50, 35); math.Abs(r-0.3) > 1e-12 {
+		t.Errorf("Reduction = %v, want 0.3", r)
+	}
+	if r := Reduction(0, 10); r != 0 {
+		t.Errorf("Reduction with zero base = %v", r)
+	}
+	if r := Reduction(10, 12); r != -0.2 {
+		t.Errorf("negative reduction = %v, want -0.2", r)
+	}
+}
+
+func TestReductionTriple(t *testing.T) {
+	base := Triple{AbsMax: 50, Average: 40, AvgMax: 45}
+	new := Triple{AbsMax: 25, Average: 30, AvgMax: 45}
+	r := ReductionTriple(base, new)
+	if r.AbsMax != 0.5 || math.Abs(r.Average-0.25) > 1e-12 || r.AvgMax != 0 {
+		t.Errorf("ReductionTriple = %+v", r)
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	if s := Slowdown(100, 102); math.Abs(s-0.02) > 1e-12 {
+		t.Errorf("Slowdown = %v, want 0.02", s)
+	}
+	if s := Slowdown(0, 10); s != 0 {
+		t.Errorf("Slowdown with zero base = %v", s)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s := series()
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with wrong length did not panic")
+		}
+	}()
+	s.Add([]float64{1})
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched names/areas did not panic")
+		}
+	}()
+	NewSeries([]string{"A"}, []float64{1, 2}, 45)
+}
+
+func TestAddCopiesSample(t *testing.T) {
+	s := NewSeries([]string{"A"}, []float64{1}, 45)
+	buf := []float64{50}
+	s.Add(buf)
+	buf[0] = 99
+	if s.AbsMax(nil) != 5 {
+		t.Error("Add did not copy the sample")
+	}
+}
+
+func TestPerInterval(t *testing.T) {
+	s := series()
+	if s.Intervals() != 2 {
+		t.Fatalf("Intervals = %d", s.Intervals())
+	}
+	if v := s.PerInterval(1)[0]; v != 75 {
+		t.Errorf("PerInterval(1)[0] = %v", v)
+	}
+	if s.Ambient() != 45 {
+		t.Errorf("Ambient = %v", s.Ambient())
+	}
+	if len(s.Names()) != 3 {
+		t.Error("Names wrong")
+	}
+}
+
+// Property: for any sample set, AbsMax >= AvgMax >= Average over the same
+// (non-empty, uniform-area) filter.
+func TestQuickMetricOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		s := NewSeries([]string{"A", "B"}, []float64{1, 1}, 0)
+		for i := 0; i+1 < len(raw) && i < 40; i += 2 {
+			a := math.Mod(math.Abs(raw[i]), 100)
+			b := math.Mod(math.Abs(raw[i+1]), 100)
+			if math.IsNaN(a) || math.IsNaN(b) {
+				return true
+			}
+			s.Add([]float64{a, b})
+		}
+		if s.Intervals() == 0 {
+			return true
+		}
+		return s.AbsMax(nil) >= s.AvgMax(nil)-1e-9 && s.AvgMax(nil) >= s.Average(nil)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

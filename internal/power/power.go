@@ -1,0 +1,275 @@
+// Package power implements the paper's power model (§2.1): per-block
+// activity counters multiplied by energy-per-operation constants for
+// dynamic power, plus a clock/idle component proportional to block area,
+// plus a leakage component that is 30% of the block's nominal dynamic
+// power at the 45°C inside-box temperature and grows exponentially with
+// temperature.
+//
+// Absolute energy values are calibration constants (the authors used
+// internal Intel data and Cacti; we tune to reproduce the paper's
+// relative picture: frontend ≈ 30% of dynamic power, the Figure 1
+// temperature landscape, and the −11% distributed-ROB power).  All the
+// paper's results are ratios, which is what the calibration targets.
+package power
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+)
+
+// Constants are the energy-per-event values (nanojoules) and the shared
+// clock/leakage parameters.
+type Constants struct {
+	// Frontend energies.
+	TCAccess    float64 // per trace-line read or fill, per bank
+	ITLBAccess  float64
+	BPAccess    float64
+	DecodeOp    float64
+	SteerOp     float64 // availability table / freelist event
+	RATAccess   float64 // per read or write, centralized
+	ROBAccess   float64 // per alloc/complete/commit, centralized
+	ROBWalkRead float64 // per R/L field read
+	// DistEPAFactor scales RAT/ROB energy per access in the distributed
+	// organization (§4.1: "each access consumes less than half the
+	// energy").
+	DistEPAFactor float64
+
+	// Backend energies.
+	RFRead    float64
+	RFWrite   float64
+	IssueOp   float64 // scheduler selection + entry insert, per issue
+	QueueOp   float64 // scheduler wakeup scan, per scanned entry
+	IntFUOp   float64
+	FPFUOp    float64
+	AgenOp    float64
+	MOBOp     float64
+	DL1Access float64
+	DTLBOp    float64
+	UL2Access float64
+
+	// Clock/idle dynamic power densities (W/mm²), charged to powered-on
+	// blocks regardless of activity.
+	ClockLogic float64 // ROB, RAT, DECO, BP, RF, schedulers, FUs, MOB
+	ClockSRAM  float64 // TC banks, DL1, DTLB, ITLB
+	ClockUL2   float64
+
+	// Leakage: ratio of nominal dynamic power at 45°C, and the doubling
+	// temperature delta of the exponential.
+	LeakRatioAt45 float64
+	LeakDoubleDeg float64
+
+	// ClockGHz converts per-interval event counts into rates.
+	ClockGHz float64
+}
+
+// DefaultConstants returns the calibrated energy table.
+func DefaultConstants() Constants {
+	return Constants{
+		TCAccess:    10.5,
+		ITLBAccess:  0.8,
+		BPAccess:    1.6,
+		DecodeOp:    0.45,
+		SteerOp:     0.015,
+		RATAccess:   0.50,
+		ROBAccess:   0.55,
+		ROBWalkRead: 0.025,
+
+		DistEPAFactor: 0.48,
+
+		RFRead:    0.45,
+		RFWrite:   0.55,
+		IssueOp:   0.80,
+		QueueOp:   0.008,
+		IntFUOp:   0.45,
+		FPFUOp:    0.80,
+		AgenOp:    0.28,
+		MOBOp:     0.35,
+		DL1Access: 0.80,
+		DTLBOp:    0.35,
+		UL2Access: 2.0,
+
+		ClockLogic: 0.25,
+		ClockSRAM:  0.08,
+		ClockUL2:   0.025,
+
+		LeakRatioAt45: 0.30,
+		LeakDoubleDeg: 45.0,
+
+		ClockGHz: 10.0,
+	}
+}
+
+// Model converts interval activity deltas into per-block power vectors
+// aligned with a floorplan.
+type Model struct {
+	cfg     core.Config
+	fp      *floorplan.Floorplan
+	k       Constants
+	nominal []float64 // per-block nominal dynamic power for leakage
+}
+
+// New builds a power model for the configuration and floorplan.
+func New(cfg core.Config, fp *floorplan.Floorplan, k Constants) *Model {
+	return &Model{cfg: cfg, fp: fp, k: k, nominal: make([]float64, len(fp.Blocks))}
+}
+
+// Constants returns the model's energy table.
+func (m *Model) Constants() Constants { return m.k }
+
+// SetNominal installs the per-block nominal dynamic power used as the
+// leakage base (the paper obtains it from a 50M-instruction profiling
+// run).
+func (m *Model) SetNominal(dyn []float64) {
+	copy(m.nominal, dyn)
+}
+
+// nj converts an event count at energy nanojoules into watts over the
+// interval.
+func nj(count uint64, energyNJ float64, seconds float64) float64 {
+	return float64(count) * energyNJ * 1e-9 / seconds
+}
+
+// Dynamic computes the per-block dynamic power (W) for one interval.
+// delta is the activity difference over the interval; tcEnabled flags
+// which trace-cache banks were powered (Vdd-gated banks get no clock
+// power and no leakage).  The returned slice is indexed like fp.Blocks.
+func (m *Model) Dynamic(delta core.Activity, tcEnabled []bool) []float64 {
+	k := &m.k
+	seconds := float64(delta.Cycles) / (k.ClockGHz * 1e9)
+	if seconds <= 0 {
+		seconds = 1e-12
+	}
+	out := make([]float64, len(m.fp.Blocks))
+	set := func(name string, w float64) {
+		if i := m.fp.Index(name); i >= 0 {
+			out[i] += w
+		}
+	}
+
+	// Trace-cache banks: per-bank access energy plus SRAM clock when
+	// powered.  (§4: the per-access energy is the proportional part of
+	// the total cache energy, so no bank is artificially favoured.)
+	for b, acc := range delta.TCBank {
+		name := floorplan.TCBank(b)
+		w := nj(acc, k.TCAccess, seconds)
+		if b < len(tcEnabled) && !tcEnabled[b] {
+			w = 0 // gated: no clock either; activity should be zero anyway
+		} else if i := m.fp.Index(name); i >= 0 {
+			w += k.ClockSRAM * m.fp.Blocks[i].Area()
+		}
+		set(name, w)
+	}
+
+	set(floorplan.ITLB, nj(delta.ITLB, k.ITLBAccess, seconds)+m.clock(floorplan.ITLB, k.ClockSRAM))
+	set(floorplan.BP, nj(delta.BP, k.BPAccess, seconds)+m.clock(floorplan.BP, k.ClockLogic))
+	set(floorplan.DECO,
+		nj(delta.Decode, k.DecodeOp, seconds)+
+			nj(delta.SteerOps, k.SteerOp, seconds)+
+			m.clock(floorplan.DECO, k.ClockLogic))
+
+	// RAT and ROB: centralized or per-partition.
+	epaScale := 1.0
+	if m.cfg.Distributed() {
+		epaScale = k.DistEPAFactor
+	}
+	for part := range delta.RATReads {
+		name := floorplan.RAT
+		if m.cfg.Distributed() {
+			name = floorplan.RATPart(part)
+		}
+		acc := delta.RATReads[part] + delta.RATWrites[part]
+		set(name, nj(acc, k.RATAccess*epaScale, seconds)+m.clock(name, k.ClockLogic))
+	}
+	for part := range delta.ROBAllocs {
+		name := floorplan.ROB
+		if m.cfg.Distributed() {
+			name = floorplan.ROBPart(part)
+		}
+		acc := delta.ROBAllocs[part] + delta.ROBCompletes[part] + delta.ROBCommits[part]
+		w := nj(acc, k.ROBAccess*epaScale, seconds) +
+			nj(delta.ROBWalks[part], k.ROBWalkRead, seconds) +
+			m.clock(name, k.ClockLogic)
+		set(name, w)
+	}
+
+	set(floorplan.UL2, nj(delta.UL2, k.UL2Access, seconds)+m.clock(floorplan.UL2, k.ClockUL2))
+
+	for cl, ca := range delta.Cluster {
+		cb := func(unit string) string { return floorplan.ClusterBlock(cl, unit) }
+		set(cb("IRF"), nj(ca.IRFReads, k.RFRead, seconds)+nj(ca.IRFWrites, k.RFWrite, seconds)+
+			m.clock(cb("IRF"), k.ClockLogic))
+		set(cb("FPRF"), nj(ca.FPRFReads, k.RFRead, seconds)+nj(ca.FPRFWrites, k.RFWrite, seconds)+
+			m.clock(cb("FPRF"), k.ClockLogic))
+		// Schedulers: IS gets the integer queue, FPS the FP queue, CS the
+		// copy queue; the memory queue's scheduling energy is charged to
+		// the MOB block along with disambiguation activity.
+		sched := func(q int) float64 {
+			return nj(ca.Queue[q], k.QueueOp, seconds) + nj(ca.Issues[q], k.IssueOp, seconds)
+		}
+		set(cb("IS"), sched(0)+m.clock(cb("IS"), k.ClockLogic))
+		set(cb("FPS"), sched(1)+m.clock(cb("FPS"), k.ClockLogic))
+		set(cb("CS"), sched(2)+m.clock(cb("CS"), k.ClockLogic))
+		set(cb("MOB"), sched(3)+nj(ca.MOB, k.MOBOp, seconds)+
+			m.clock(cb("MOB"), k.ClockLogic))
+		set(cb("IFU"), nj(ca.IntFUOps, k.IntFUOp, seconds)+nj(ca.AgenOps, k.AgenOp, seconds)+
+			m.clock(cb("IFU"), k.ClockLogic))
+		set(cb("FPFU"), nj(ca.FPFUOps, k.FPFUOp, seconds)+m.clock(cb("FPFU"), k.ClockLogic))
+		set(cb("DL1"), nj(ca.DL1, k.DL1Access, seconds)+m.clock(cb("DL1"), k.ClockSRAM))
+		set(cb("DTLB"), nj(ca.DTLB, k.DTLBOp, seconds)+m.clock(cb("DTLB"), k.ClockSRAM))
+	}
+	return out
+}
+
+func (m *Model) clock(name string, density float64) float64 {
+	i := m.fp.Index(name)
+	if i < 0 {
+		return 0
+	}
+	return density * m.fp.Blocks[i].Area()
+}
+
+// Leakage computes per-block leakage power (W) at the given block
+// temperatures: 30% of the nominal dynamic power at 45°C, doubling every
+// LeakDoubleDeg °C (the exponential dependence of §2.1).  Gated
+// trace-cache banks leak nothing (Vdd gating cuts the supply).
+func (m *Model) Leakage(temps []float64, tcEnabled []bool) []float64 {
+	out := make([]float64, len(m.fp.Blocks))
+	for i, b := range m.fp.Blocks {
+		if floorplan.IsTraceCache(b.Name) {
+			bank := int(b.Name[len(b.Name)-1] - '0')
+			if bank < len(tcEnabled) && !tcEnabled[bank] {
+				continue
+			}
+		}
+		t := temps[i]
+		if t > 160 {
+			// Numerical guard: beyond any physical die temperature the
+			// exponential would run away; the paper's emergency systems
+			// would long have fired (it reports no temperatures past the
+			// 381 K limit).
+			t = 160
+		}
+		out[i] = m.k.LeakRatioAt45 * m.nominal[i] * math.Exp2((t-45)/m.k.LeakDoubleDeg)
+	}
+	return out
+}
+
+// Total returns the sum of a power vector.
+func Total(p []float64) float64 {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	return s
+}
+
+// Add returns the element-wise sum of two power vectors.
+func Add(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}

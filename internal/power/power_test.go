@@ -1,0 +1,221 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+)
+
+func fixture(distributed bool) (*Model, core.Config, *floorplan.Floorplan) {
+	cfg := core.DefaultConfig()
+	if distributed {
+		cfg = cfg.WithDistributedFrontend(2)
+	}
+	fp := floorplan.New(floorplan.Config{
+		TCBanks: cfg.TC.Banks, Distributed: cfg.Distributed(),
+		Partitions: cfg.Frontends, Clusters: cfg.Clusters,
+	})
+	return New(cfg, fp, DefaultConstants()), cfg, fp
+}
+
+// activity builds a synthetic one-interval delta with plausible rates.
+func activity(cfg core.Config, cycles uint64) core.Activity {
+	a := core.Activity{Cycles: cycles, Committed: cycles / 3}
+	a.TCBank = make([]uint64, cfg.TC.Banks)
+	for b := range a.TCBank {
+		a.TCBank[b] = cycles / 20
+	}
+	a.ITLB = cycles / 20
+	a.BP = cycles / 12
+	a.Decode = cycles / 3
+	a.SteerOps = cycles
+	f := cfg.Frontends
+	a.RATReads = make([]uint64, f)
+	a.RATWrites = make([]uint64, f)
+	a.ROBAllocs = make([]uint64, f)
+	a.ROBCompletes = make([]uint64, f)
+	a.ROBCommits = make([]uint64, f)
+	a.ROBWalks = make([]uint64, f)
+	for p := 0; p < f; p++ {
+		a.RATReads[p] = cycles / 4 / uint64(f)
+		a.RATWrites[p] = cycles / 5 / uint64(f)
+		a.ROBAllocs[p] = cycles / 3 / uint64(f)
+		a.ROBCompletes[p] = cycles / 3 / uint64(f)
+		a.ROBCommits[p] = cycles / 3 / uint64(f)
+		a.ROBWalks[p] = cycles / uint64(f)
+	}
+	a.Cluster = make([]core.ClusterActivity, cfg.Clusters)
+	for c := range a.Cluster {
+		ca := &a.Cluster[c]
+		ca.IRFReads = cycles / 12
+		ca.IRFWrites = cycles / 20
+		ca.FPRFReads = cycles / 40
+		ca.FPRFWrites = cycles / 60
+		for k := range ca.Queue {
+			ca.Queue[k] = cycles * 2
+			ca.Issues[k] = cycles / 25
+		}
+		ca.IntFUOps = cycles / 25
+		ca.FPFUOps = cycles / 50
+		ca.AgenOps = cycles / 30
+		ca.DL1 = cycles / 25
+		ca.DTLB = cycles / 30
+		ca.MOB = cycles / 10
+	}
+	a.UL2 = cycles / 100
+	return a
+}
+
+func allEnabled(n int) []bool {
+	e := make([]bool, n)
+	for i := range e {
+		e[i] = true
+	}
+	return e
+}
+
+func TestDynamicPositiveEverywhere(t *testing.T) {
+	m, cfg, fp := fixture(false)
+	p := m.Dynamic(activity(cfg, 100_000), allEnabled(cfg.TC.Banks))
+	if len(p) != len(fp.Blocks) {
+		t.Fatalf("power vector length %d, want %d", len(p), len(fp.Blocks))
+	}
+	for i, w := range p {
+		if w <= 0 {
+			t.Errorf("block %s has non-positive power %v", fp.Blocks[i].Name, w)
+		}
+	}
+}
+
+func TestTotalPowerPlausible(t *testing.T) {
+	// The calibration targets a 10 GHz design in the 50-120 W range.
+	m, cfg, _ := fixture(false)
+	p := m.Dynamic(activity(cfg, 100_000), allEnabled(cfg.TC.Banks))
+	total := Total(p)
+	if total < 20 || total > 200 {
+		t.Fatalf("total dynamic power %v W implausible", total)
+	}
+}
+
+func TestFrontendPowerShare(t *testing.T) {
+	// Paper §1: frontend ≈ 30% of the dynamic power for this design.
+	m, cfg, fp := fixture(false)
+	p := m.Dynamic(activity(cfg, 100_000), allEnabled(cfg.TC.Banks))
+	fe := 0.0
+	for i, b := range fp.Blocks {
+		if floorplan.IsFrontend(b.Name) {
+			fe += p[i]
+		}
+	}
+	share := fe / Total(p)
+	// The paper reports ~30% for its design; our calibration lands the
+	// temperature landscape at a somewhat higher share (see
+	// EXPERIMENTS.md, Deviations).
+	if share < 0.18 || share > 0.60 {
+		t.Errorf("frontend power share %.2f outside the plausible band", share)
+	}
+}
+
+func TestGatedBankGetsNoPower(t *testing.T) {
+	m, cfg, fp := fixture(false)
+	enabled := allEnabled(cfg.TC.Banks)
+	enabled[1] = false
+	a := activity(cfg, 100_000)
+	a.TCBank[1] = 0 // gated banks see no accesses
+	p := m.Dynamic(a, enabled)
+	if w := p[fp.Index(floorplan.TCBank(1))]; w != 0 {
+		t.Fatalf("gated bank draws %v W dynamic", w)
+	}
+	// And no leakage either (Vdd gating).
+	m.SetNominal(p)
+	leak := m.Leakage(make([]float64, len(p)), enabled)
+	if leak[fp.Index(floorplan.TCBank(1))] != 0 {
+		t.Fatal("gated bank leaks")
+	}
+}
+
+func TestDistributedROBPowerReduction(t *testing.T) {
+	// §4.1: "the distributed ROB reduces power by 11% on average".  With
+	// the same per-instruction activity split across two partitions at
+	// less than half the energy per access, total ROB power must drop,
+	// and by a moderate amount (clock area grows 1.3x).
+	mc, cfgC, fpC := fixture(false)
+	md, cfgD, fpD := fixture(true)
+	a := activity(cfgC, 100_000)
+	pc := mc.Dynamic(a, allEnabled(cfgC.TC.Banks))
+	ad := activity(cfgD, 100_000)
+	pd := md.Dynamic(ad, allEnabled(cfgD.TC.Banks))
+
+	robC := pc[fpC.Index(floorplan.ROB)]
+	robD := pd[fpD.Index(floorplan.ROBPart(0))] + pd[fpD.Index(floorplan.ROBPart(1))]
+	red := (robC - robD) / robC
+	if red < 0.02 || red > 0.45 {
+		t.Errorf("distributed ROB power reduction %.1f%%, want moderate (paper: 11%%)", red*100)
+	}
+}
+
+func TestLeakageAt45IsConfiguredRatio(t *testing.T) {
+	m, cfg, fp := fixture(false)
+	nominal := m.Dynamic(activity(cfg, 100_000), allEnabled(cfg.TC.Banks))
+	m.SetNominal(nominal)
+	temps := make([]float64, len(fp.Blocks))
+	for i := range temps {
+		temps[i] = 45
+	}
+	leak := m.Leakage(temps, allEnabled(cfg.TC.Banks))
+	for i := range leak {
+		want := DefaultConstants().LeakRatioAt45 * nominal[i]
+		if math.Abs(leak[i]-want) > 1e-12 {
+			t.Fatalf("block %d leakage at 45°C = %v, want %v", i, leak[i], want)
+		}
+	}
+}
+
+func TestLeakageExponential(t *testing.T) {
+	m, cfg, fp := fixture(false)
+	nominal := m.Dynamic(activity(cfg, 100_000), allEnabled(cfg.TC.Banks))
+	m.SetNominal(nominal)
+	k := DefaultConstants()
+	at := func(tC float64) float64 {
+		temps := make([]float64, len(fp.Blocks))
+		for i := range temps {
+			temps[i] = tC
+		}
+		return Total(m.Leakage(temps, allEnabled(cfg.TC.Banks)))
+	}
+	l45 := at(45)
+	lUp := at(45 + k.LeakDoubleDeg)
+	if math.Abs(lUp/l45-2) > 1e-9 {
+		t.Fatalf("leakage at +%v°C = %vx, want 2x", k.LeakDoubleDeg, lUp/l45)
+	}
+	// The runaway guard clamps far beyond physical temperatures.
+	if at(1000) != at(200) {
+		t.Fatal("leakage guard not applied")
+	}
+}
+
+func TestZeroCycleIntervalSafe(t *testing.T) {
+	m, cfg, _ := fixture(false)
+	a := activity(cfg, 100_000)
+	a.Cycles = 0
+	p := m.Dynamic(a, allEnabled(cfg.TC.Banks))
+	for _, w := range p {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatal("zero-cycle interval produced NaN/Inf power")
+		}
+	}
+}
+
+func TestAddTotalHelpers(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	s := Add(a, b)
+	if s[0] != 4 || s[1] != 6 {
+		t.Fatalf("Add = %v", s)
+	}
+	if Total(s) != 10 {
+		t.Fatalf("Total = %v", Total(s))
+	}
+}

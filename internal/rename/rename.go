@@ -1,0 +1,220 @@
+// Package rename implements the register-renaming machinery of Section 3.1
+// of the paper, in both its conventional centralized form and the proposed
+// distributed form.
+//
+// The pieces are:
+//
+//   - FreeList: one free physical-register pool per backend cluster and
+//     register space.  The paper keeps all freelists centralized next to
+//     the steering logic so destination renaming can happen at steer time
+//     (§3.1.1) — this is what makes communication-free distributed rename
+//     tables possible.
+//   - AvailabilityTable: one entry per logical register with one bit per
+//     backend, telling the steering stage which backends hold a valid copy
+//     of the register.  This is explicitly *not* the rename table.
+//   - MapTable: the actual logical→physical mapping of one backend
+//     cluster.  In the centralized organization all maps live in one
+//     monolithic RAT; in the distributed organization each frontend holds
+//     the maps of its associated backends only.
+//   - CopyRequest: the §3.1.1 two-step protocol record sent from the
+//     steering stage to the frontend that owns a source value when the
+//     consumer lives under a different frontend.
+package rename
+
+import (
+	"fmt"
+
+	"repro/internal/uop"
+)
+
+// PhysNone marks an unmapped logical register.
+const PhysNone int16 = -1
+
+// FreeList manages the free physical registers of one cluster/space pair.
+type FreeList struct {
+	free  []int16
+	inUse []bool
+	size  int
+	// FailedAllocs counts allocation attempts that found the list empty;
+	// each corresponds to a dispatch stall cycle upstream.
+	FailedAllocs uint64
+}
+
+// NewFreeList returns a free list over physical registers [0, n).
+func NewFreeList(n int) *FreeList {
+	fl := &FreeList{size: n, inUse: make([]bool, n)}
+	fl.free = make([]int16, n)
+	for i := range fl.free {
+		// Pop from the tail; seed so low registers are handed out first.
+		fl.free[i] = int16(n - 1 - i)
+	}
+	return fl
+}
+
+// Size returns the total number of physical registers.
+func (fl *FreeList) Size() int { return fl.size }
+
+// Available returns the number of free registers.
+func (fl *FreeList) Available() int { return len(fl.free) }
+
+// Alloc takes a free register.  ok is false if none is available.
+func (fl *FreeList) Alloc() (reg int16, ok bool) {
+	if len(fl.free) == 0 {
+		fl.FailedAllocs++
+		return PhysNone, false
+	}
+	reg = fl.free[len(fl.free)-1]
+	fl.free = fl.free[:len(fl.free)-1]
+	fl.inUse[reg] = true
+	return reg, true
+}
+
+// Free returns a register to the pool.  It panics on double-free, which
+// would silently corrupt the machine state.
+func (fl *FreeList) Free(reg int16) {
+	if reg < 0 || int(reg) >= fl.size {
+		panic(fmt.Sprintf("rename: freeing out-of-range register %d", reg))
+	}
+	if !fl.inUse[reg] {
+		panic(fmt.Sprintf("rename: double free of physical register %d", reg))
+	}
+	fl.inUse[reg] = false
+	fl.free = append(fl.free, reg)
+}
+
+// AvailabilityTable records, per logical register, which backends hold a
+// valid copy of its current value (§3.1.1).  It has as many entries as
+// logical registers and as many bits per entry as backends; it lives with
+// the centralized steering logic in both organizations.
+type AvailabilityTable struct {
+	bits     []uint32
+	backends int
+	// Reads and Writes are activity counters for the power model.
+	Reads  uint64
+	Writes uint64
+}
+
+// NewAvailabilityTable builds a table for the given number of backends
+// (at most 32).
+func NewAvailabilityTable(backends int) *AvailabilityTable {
+	if backends < 1 || backends > 32 {
+		panic("rename: backends out of range")
+	}
+	return &AvailabilityTable{bits: make([]uint32, uop.NumLogicalRegs), backends: backends}
+}
+
+// Holders returns the bitmask of backends holding logical register r.
+func (a *AvailabilityTable) Holders(r int8) uint32 {
+	a.Reads++
+	return a.bits[r]
+}
+
+// Holds reports whether backend c holds a valid copy of r.
+func (a *AvailabilityTable) Holds(r int8, c int) bool {
+	a.Reads++
+	return a.bits[r]&(1<<uint(c)) != 0
+}
+
+// SetOnly records that the value of r now exists only in backend c (a new
+// value was produced there).
+func (a *AvailabilityTable) SetOnly(r int8, c int) {
+	a.Writes++
+	a.bits[r] = 1 << uint(c)
+}
+
+// Add records that backend c received a copy of r.
+func (a *AvailabilityTable) Add(r int8, c int) {
+	a.Writes++
+	a.bits[r] |= 1 << uint(c)
+}
+
+// AnyHolder returns some backend holding r, preferring the ones whose
+// index appears in prefer (searched in order), then the lowest-numbered
+// holder.  ok is false if no backend holds r (an uninitialized register).
+func (a *AvailabilityTable) AnyHolder(r int8, prefer []int) (c int, ok bool) {
+	a.Reads++
+	m := a.bits[r]
+	if m == 0 {
+		return 0, false
+	}
+	for _, p := range prefer {
+		if m&(1<<uint(p)) != 0 {
+			return p, true
+		}
+	}
+	for c := 0; c < a.backends; c++ {
+		if m&(1<<uint(c)) != 0 {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// Reset marks every logical register as held by backend 0, the
+// architectural home of the initial machine state.
+func (a *AvailabilityTable) Reset() {
+	for r := range a.bits {
+		a.bits[r] = 1
+	}
+}
+
+// MapTable is the logical→physical register map of one backend cluster.
+// Centralized and distributed organizations differ in where these tables
+// live (one monolithic RAT vs. one table per frontend partition), which
+// the power model captures via energy per access; the mapping function is
+// identical.
+type MapTable struct {
+	phys [uop.NumLogicalRegs]int16
+	// Activity counters for the power model.
+	Reads  uint64
+	Writes uint64
+}
+
+// NewMapTable returns a map with no logical register mapped.
+func NewMapTable() *MapTable {
+	m := &MapTable{}
+	for i := range m.phys {
+		m.phys[i] = PhysNone
+	}
+	return m
+}
+
+// Get returns the physical register mapped to r (PhysNone if unmapped).
+func (m *MapTable) Get(r int8) int16 {
+	m.Reads++
+	return m.phys[r]
+}
+
+// Set maps logical register r to physical register p and returns the
+// previous mapping (PhysNone if none).
+func (m *MapTable) Set(r int8, p int16) (prev int16) {
+	m.Writes++
+	prev = m.phys[r]
+	m.phys[r] = p
+	return prev
+}
+
+// Clear unmaps r and returns the previous mapping.
+func (m *MapTable) Clear(r int8) (prev int16) {
+	m.Writes++
+	prev = m.phys[r]
+	m.phys[r] = PhysNone
+	return prev
+}
+
+// CopyRequest is the §3.1.1 cross-frontend copy protocol record: the
+// steering stage allocates the destination register from the target
+// backend's freelist, then asks the frontend owning the value (G in the
+// paper) to generate the actual copy instruction.
+type CopyRequest struct {
+	Logical     int8  // logical register to copy
+	SrcBackend  int   // backend that holds the value
+	DstBackend  int   // backend that needs the value
+	DstPhys     int16 // pre-allocated destination physical register
+	SrcFrontend int   // frontend that owns SrcBackend (generates the copy)
+	DstFrontend int   // frontend that owns DstBackend
+}
+
+// CrossFrontend reports whether the request crosses frontend partitions
+// (the case that needs the two-step protocol).
+func (cr *CopyRequest) CrossFrontend() bool { return cr.SrcFrontend != cr.DstFrontend }

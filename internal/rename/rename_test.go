@@ -1,0 +1,182 @@
+package rename
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/uop"
+)
+
+func TestFreeListAllocFree(t *testing.T) {
+	fl := NewFreeList(4)
+	if fl.Size() != 4 || fl.Available() != 4 {
+		t.Fatalf("size/avail = %d/%d", fl.Size(), fl.Available())
+	}
+	seen := map[int16]bool{}
+	for i := 0; i < 4; i++ {
+		r, ok := fl.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[r] {
+			t.Fatalf("register %d allocated twice", r)
+		}
+		seen[r] = true
+	}
+	if _, ok := fl.Alloc(); ok {
+		t.Fatal("alloc succeeded on empty list")
+	}
+	if fl.FailedAllocs != 1 {
+		t.Fatalf("FailedAllocs = %d", fl.FailedAllocs)
+	}
+	fl.Free(2)
+	if r, ok := fl.Alloc(); !ok || r != 2 {
+		t.Fatalf("realloc = %d,%v", r, ok)
+	}
+}
+
+func TestFreeListDoubleFreePanics(t *testing.T) {
+	fl := NewFreeList(4)
+	r, _ := fl.Alloc()
+	fl.Free(r)
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	fl.Free(r)
+}
+
+func TestFreeListRangePanics(t *testing.T) {
+	fl := NewFreeList(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range free did not panic")
+		}
+	}()
+	fl.Free(9)
+}
+
+func TestAvailabilityBasics(t *testing.T) {
+	a := NewAvailabilityTable(4)
+	a.Reset()
+	for r := int8(0); r < uop.NumLogicalRegs; r++ {
+		if !a.Holds(r, 0) {
+			t.Fatalf("register %d not in backend 0 after Reset", r)
+		}
+	}
+	a.SetOnly(5, 2)
+	if a.Holds(5, 0) || !a.Holds(5, 2) {
+		t.Fatal("SetOnly did not replace holders")
+	}
+	a.Add(5, 3)
+	if !a.Holds(5, 2) || !a.Holds(5, 3) {
+		t.Fatal("Add lost a holder")
+	}
+	if a.Holders(5) != (1<<2)|(1<<3) {
+		t.Fatalf("Holders = %b", a.Holders(5))
+	}
+}
+
+func TestAnyHolderPreference(t *testing.T) {
+	a := NewAvailabilityTable(4)
+	a.SetOnly(1, 1)
+	a.Add(1, 3)
+	if c, ok := a.AnyHolder(1, []int{3, 1}); !ok || c != 3 {
+		t.Fatalf("AnyHolder preferred = %d,%v; want 3", c, ok)
+	}
+	if c, ok := a.AnyHolder(1, []int{0, 2}); !ok || c != 1 {
+		t.Fatalf("AnyHolder fallback = %d,%v; want lowest holder 1", c, ok)
+	}
+	if _, ok := a.AnyHolder(2, nil); ok {
+		t.Fatal("AnyHolder found holder for unheld register")
+	}
+}
+
+func TestAvailabilityCounters(t *testing.T) {
+	a := NewAvailabilityTable(2)
+	a.SetOnly(0, 1)
+	a.Add(0, 0)
+	a.Holds(0, 1)
+	a.Holders(0)
+	if a.Writes != 2 || a.Reads != 2 {
+		t.Fatalf("counters = %d reads, %d writes", a.Reads, a.Writes)
+	}
+}
+
+func TestAvailabilityRangePanics(t *testing.T) {
+	for _, n := range []int{0, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAvailabilityTable(%d) did not panic", n)
+				}
+			}()
+			NewAvailabilityTable(n)
+		}()
+	}
+}
+
+func TestMapTable(t *testing.T) {
+	m := NewMapTable()
+	if m.Get(3) != PhysNone {
+		t.Fatal("fresh map has a mapping")
+	}
+	if prev := m.Set(3, 42); prev != PhysNone {
+		t.Fatalf("prev = %d", prev)
+	}
+	if m.Get(3) != 42 {
+		t.Fatal("mapping lost")
+	}
+	if prev := m.Set(3, 7); prev != 42 {
+		t.Fatalf("Set returned prev = %d, want 42", prev)
+	}
+	if prev := m.Clear(3); prev != 7 {
+		t.Fatalf("Clear returned %d, want 7", prev)
+	}
+	if m.Get(3) != PhysNone {
+		t.Fatal("Clear did not unmap")
+	}
+	if m.Reads != 3 || m.Writes != 3 {
+		t.Fatalf("counters = %d reads, %d writes", m.Reads, m.Writes)
+	}
+}
+
+func TestCopyRequestCrossFrontend(t *testing.T) {
+	cr := CopyRequest{SrcFrontend: 0, DstFrontend: 1}
+	if !cr.CrossFrontend() {
+		t.Fatal("cross-frontend request not detected")
+	}
+	cr.DstFrontend = 0
+	if cr.CrossFrontend() {
+		t.Fatal("same-frontend request flagged as cross")
+	}
+}
+
+// Property: the free list conserves registers: after any interleaving of
+// allocs and frees, available + live == size and no register is live twice.
+func TestQuickFreeListConservation(t *testing.T) {
+	fl := NewFreeList(16)
+	live := map[int16]bool{}
+	f := func(doAlloc bool) bool {
+		if doAlloc {
+			r, ok := fl.Alloc()
+			if ok {
+				if live[r] {
+					return false
+				}
+				live[r] = true
+			}
+		} else {
+			for r := range live {
+				fl.Free(r)
+				delete(live, r)
+				break
+			}
+		}
+		return fl.Available()+len(live) == fl.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

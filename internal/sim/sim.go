@@ -1,0 +1,276 @@
+// Package sim drives a full power/thermal simulation of one processor
+// configuration on one benchmark, following the paper's methodology (§4):
+//
+//  1. A profiling phase measures the nominal average dynamic power per
+//     block (the paper uses 50M instructions).
+//  2. The thermal model is warm-started at the steady state of nominal
+//     power plus converged leakage, capped at the 381 K emergency limit.
+//  3. The measurement phase then runs interval by interval: every
+//     IntervalCycles the per-block power of the interval is fed to the RC
+//     network, temperatures advance by the paper-equivalent interval time,
+//     the per-bank trace-cache statistics reach the reconfiguration logic
+//     (bank hopping rotation and/or the thermal-aware mapping function),
+//     and the temperature metrics are sampled.
+//
+// The paper's 10M-cycle interval at 10 GHz is 1 ms of thermal time; the
+// scaled default interval keeps that thermal step so heating rates versus
+// hop periods are preserved (DESIGN.md §6).
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/dtm"
+	"repro/internal/floorplan"
+	"repro/internal/metrics"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Options controls one simulation run.
+type Options struct {
+	// WarmupOps is the length of the profiling phase in micro-ops.
+	WarmupOps uint64
+	// MeasureOps is the length of the measured phase in micro-ops.
+	MeasureOps uint64
+	// IntervalCycles is the reconfiguration/thermal interval (scaled
+	// stand-in for the paper's 10M cycles).
+	IntervalCycles uint64
+	// IntervalSeconds is the thermal time per interval (the paper's
+	// interval is 1 ms at 10 GHz).
+	IntervalSeconds float64
+	// Thermal overrides the default RC parameters when non-nil.
+	Thermal *thermal.Params
+	// Power overrides the default energy table when non-nil.
+	Power *power.Constants
+	// DTM enables the dynamic thermal management controller (fetch
+	// toggling at thermal emergencies) when non-nil.
+	DTM *dtm.Config
+}
+
+// DefaultOptions returns the scaled defaults used by the experiments.
+func DefaultOptions() Options {
+	return Options{
+		WarmupOps:       120_000,
+		MeasureOps:      300_000,
+		IntervalCycles:  100_000,
+		IntervalSeconds: 1e-3,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config     core.Config
+	Bench      string
+	Stats      core.Stats // full-run pipeline statistics
+	WarmCycles uint64     // cycles spent in the profiling phase
+	MeasCycles uint64     // cycles of the measured phase
+	MeasOps    uint64     // micro-ops committed in the measured phase
+
+	Floorplan *floorplan.Floorplan
+	Temps     *metrics.Series // per-interval block temperatures
+	AvgPower  []float64       // measured-phase average per-block power (W)
+	Nominal   []float64       // profiling-phase nominal dynamic power (W)
+
+	TCHitRate float64
+	TCHops    uint64
+
+	// DTM statistics (zero unless Options.DTM was set).
+	DTMEngagements uint64
+	DTMThrottled   uint64
+	DTMMinDuty     int
+}
+
+// IPC returns the measured-phase IPC.
+func (r *Result) IPC() float64 {
+	if r.MeasCycles == 0 {
+		return 0
+	}
+	return float64(r.MeasOps) / float64(r.MeasCycles)
+}
+
+// Run simulates one configuration on one benchmark profile.
+func Run(cfg core.Config, prof workload.Profile, opt Options) *Result {
+	if opt.IntervalCycles == 0 {
+		opt = DefaultOptions()
+	}
+	tp := thermal.DefaultParams()
+	if opt.Thermal != nil {
+		tp = *opt.Thermal
+	}
+	pk := power.DefaultConstants()
+	if opt.Power != nil {
+		pk = *opt.Power
+	}
+
+	fp := floorplan.New(floorplan.Config{
+		TCBanks:     cfg.TC.Banks,
+		Distributed: cfg.Distributed(),
+		Partitions:  cfg.Frontends,
+		Clusters:    cfg.Clusters,
+	})
+	pm := power.New(cfg, fp, pk)
+	tm := thermal.New(fp, tp)
+
+	total := opt.WarmupOps + opt.MeasureOps
+	gen := workload.NewGenerator(prof, total)
+	proc := core.New(cfg, gen)
+
+	res := &Result{Config: cfg, Bench: prof.Name, Floorplan: fp}
+
+	// ---- Phase 1: profiling for nominal power (hopping rotates, the
+	// mapping stays balanced: there are no converged temperatures yet).
+	warmupTarget := uint64(float64(opt.WarmupOps) * prof.LengthScaleOrOne())
+	start := proc.Activity()
+	enabled := tcEnabled(proc, cfg)
+	// Finer chunks than the full interval so short benchmark slices are
+	// not consumed entirely inside the profiling phase; hopping still
+	// rotates once per full interval's worth of cycles.
+	chunk := opt.IntervalCycles / 8
+	if chunk == 0 {
+		chunk = 1
+	}
+	sinceHop := uint64(0)
+	for !proc.Done() && proc.Stats.Committed < warmupTarget {
+		proc.RunCycles(chunk)
+		sinceHop += chunk
+		if sinceHop >= opt.IntervalCycles {
+			proc.TraceCache().Reconfigure(nil)
+			sinceHop = 0
+		}
+		enabled = tcEnabled(proc, cfg)
+	}
+	warmAct := proc.Activity().Sub(start)
+	res.WarmCycles = warmAct.Cycles
+	nominal := pm.Dynamic(warmAct, enabled)
+	pm.SetNominal(nominal)
+	res.Nominal = nominal
+
+	// ---- Phase 2: steady-state warm start with leakage convergence.
+	temps := converge(tm, pm, nominal, enabled)
+
+	var controller *dtm.Controller
+	if opt.DTM != nil {
+		controller = dtm.New(*opt.DTM)
+	}
+
+	// ---- Phase 3: measurement.
+	series := metrics.NewSeries(fp.Names(), areas(fp), tm.Ambient())
+	avgPower := make([]float64, len(fp.Blocks))
+	intervals := 0
+	prev := proc.Activity()
+	measStartCycles := proc.Cycle()
+	measStartOps := proc.Stats.Committed
+	for !proc.Done() {
+		proc.RunCycles(opt.IntervalCycles)
+		cur := proc.Activity()
+		delta := cur.Sub(prev)
+		prev = cur
+		if delta.Cycles == 0 {
+			break
+		}
+		enabled = tcEnabled(proc, cfg)
+		dyn := pm.Dynamic(delta, enabled)
+		leak := pm.Leakage(temps, enabled)
+		p := power.Add(dyn, leak)
+		// Scale the thermal step when the final interval is short.
+		dt := opt.IntervalSeconds * float64(delta.Cycles) / float64(opt.IntervalCycles)
+		tm.Step(p, dt)
+		temps = tm.Temps()
+		series.Add(temps)
+		for i, w := range p {
+			avgPower[i] += w
+		}
+		intervals++
+		// End-of-interval reconfiguration: hop the gated bank and/or
+		// re-bias the mapping from the per-bank sensor temperatures.
+		proc.TraceCache().Reconfigure(bankTemps(fp, temps, cfg.TC.Banks))
+		if controller != nil {
+			peak := temps[0]
+			for _, tv := range temps {
+				if tv > peak {
+					peak = tv
+				}
+			}
+			num, den := controller.Update(peak)
+			proc.SetFetchGate(num, den)
+		}
+	}
+	if intervals > 0 {
+		for i := range avgPower {
+			avgPower[i] /= float64(intervals)
+		}
+	}
+	res.Stats = proc.Stats
+	res.MeasCycles = proc.Cycle() - measStartCycles
+	res.MeasOps = proc.Stats.Committed - measStartOps
+	res.Temps = series
+	res.AvgPower = avgPower
+	res.TCHitRate = proc.TCHitRate()
+	res.TCHops = proc.TraceCache().Stats.Hops
+	if controller != nil {
+		res.DTMEngagements = controller.Engagements
+		res.DTMThrottled = controller.ThrottledSteps
+		res.DTMMinDuty = controller.MinDuty
+	}
+	return res
+}
+
+// converge iterates steady state <-> leakage until the temperatures
+// settle (the paper: "until temperature converges or reaches the
+// emergency limit").
+func converge(tm *thermal.Model, pm *power.Model, nominal []float64, enabled []bool) []float64 {
+	temps := make([]float64, tm.Blocks())
+	for i := range temps {
+		temps[i] = tm.Ambient()
+	}
+	for iter := 0; iter < 40; iter++ {
+		p := power.Add(nominal, pm.Leakage(temps, enabled))
+		tm.SteadyState(p)
+		next := tm.Temps()
+		maxD := 0.0
+		for i := range next {
+			d := next[i] - temps[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > maxD {
+				maxD = d
+			}
+		}
+		temps = next
+		if maxD < 0.01 {
+			break
+		}
+	}
+	return temps
+}
+
+// tcEnabled snapshots which trace-cache banks are powered.
+func tcEnabled(proc *core.Processor, cfg core.Config) []bool {
+	out := make([]bool, cfg.TC.Banks)
+	for b := range out {
+		out[b] = proc.TraceCache().Enabled(b)
+	}
+	return out
+}
+
+// bankTemps extracts per-bank temperatures (the paper's per-bank thermal
+// sensors, §3.2.2).
+func bankTemps(fp *floorplan.Floorplan, temps []float64, banks int) []float64 {
+	out := make([]float64, banks)
+	for b := 0; b < banks; b++ {
+		if i := fp.Index(floorplan.TCBank(b)); i >= 0 {
+			out[b] = temps[i]
+		}
+	}
+	return out
+}
+
+func areas(fp *floorplan.Floorplan) []float64 {
+	out := make([]float64, len(fp.Blocks))
+	for i, b := range fp.Blocks {
+		out[i] = b.Area()
+	}
+	return out
+}

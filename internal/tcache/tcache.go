@@ -1,0 +1,351 @@
+// Package tcache implements the sub-banked, thermally aware trace cache of
+// Section 3.2 of the paper.
+//
+// The trace cache is divided into banks with non-overlapping contents; a
+// mapping function — a bitwise XOR of two five-bit fields of the trace
+// address indexing a 32-entry table — selects the bank for every access.
+// Three mechanisms are provided on top of the banked design:
+//
+//   - Balanced mapping (baseline): the 32 table entries are divided evenly
+//     among the enabled banks.
+//   - Thermal-aware ("biased") mapping (§3.2.2): the table is recomputed at
+//     every interval from per-bank temperatures; a bank's share of entries
+//     is halved for every 3°C it sits above the average bank temperature.
+//   - Bank hopping (§3.2.1): one extra bank is added and one bank is always
+//     Vdd-gated, rotating every interval.  A gated bank loses its contents.
+//
+// The "blank silicon" comparison point of Figure 13 (one of three banks
+// statically gated) is expressed with StaticGate.
+package tcache
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+)
+
+// MapEntries is the size of the bank-mapping table: the mapping function
+// produces a five-bit index (paper, §3.2.2).
+const MapEntries = 32
+
+// Config describes a trace-cache organization.
+type Config struct {
+	// Banks is the number of physical banks.  The paper's baseline has 2;
+	// hopping configurations add one extra bank (3).
+	Banks int
+	// TracesPerBank is the capacity of each bank in trace lines.  The
+	// paper's 32K-µop cache corresponds to ~2048 8-µop lines per bank; the
+	// default scaled configuration uses fewer (see core.DefaultConfig).
+	TracesPerBank int
+	// Ways is the associativity of each bank (paper: 4).
+	Ways int
+	// Hopping enables rotating Vdd-gating of one bank per interval.
+	Hopping bool
+	// StaticGate permanently disables the given bank (-1 to disable none).
+	// Used for the blank-silicon comparison.
+	StaticGate int
+	// Biased enables the thermal-aware mapping function.
+	Biased bool
+	// BiasDegreesPerHalving is the temperature difference that halves a
+	// bank's share of accesses.  The paper found 3°C (§3.2.2).
+	BiasDegreesPerHalving float64
+}
+
+// DefaultBiasDegreesPerHalving is the paper's experimentally found rule:
+// a bank's activity share is halved for every 3°C above the average.
+const DefaultBiasDegreesPerHalving = 3.0
+
+// Stats aggregates whole-trace-cache statistics.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	HopMisses  uint64 // misses while warming a freshly enabled bank
+	Hops       uint64
+	Rebalances uint64
+}
+
+// HitRate returns the overall hit rate (1 if no accesses).
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 1
+	}
+	return 1 - float64(s.Misses)/float64(s.Accesses)
+}
+
+// TraceCache is a banked trace cache with a reconfigurable mapping table.
+type TraceCache struct {
+	cfg      Config
+	banks    []*cache.Cache
+	enabled  []bool
+	gated    int // currently hop-gated bank, -1 if none
+	mapTable [MapEntries]uint8
+	// intervalAccesses counts per-bank accesses since the last interval
+	// boundary; the power model converts these into per-bank power.
+	intervalAccesses []uint64
+	// freshFills counts fills into a bank since it was last enabled, used
+	// to attribute warm-up misses to hopping.
+	sinceEnable []uint64
+	Stats       Stats
+}
+
+// New builds a trace cache.  It panics if the configuration leaves no
+// enabled bank or gates a bank that does not exist.
+func New(cfg Config) *TraceCache {
+	if cfg.Banks < 1 {
+		panic("tcache: need at least one bank")
+	}
+	if cfg.StaticGate >= cfg.Banks {
+		panic(fmt.Sprintf("tcache: StaticGate %d out of range", cfg.StaticGate))
+	}
+	if cfg.BiasDegreesPerHalving == 0 {
+		cfg.BiasDegreesPerHalving = DefaultBiasDegreesPerHalving
+	}
+	tc := &TraceCache{
+		cfg:              cfg,
+		banks:            make([]*cache.Cache, cfg.Banks),
+		enabled:          make([]bool, cfg.Banks),
+		gated:            -1,
+		intervalAccesses: make([]uint64, cfg.Banks),
+		sinceEnable:      make([]uint64, cfg.Banks),
+	}
+	for b := range tc.banks {
+		tc.banks[b] = cache.New(cache.Config{
+			Name:  fmt.Sprintf("TC-%d", b),
+			SizeB: cfg.TracesPerBank * 64,
+			Ways:  cfg.Ways,
+			LineB: 64,
+		})
+		tc.enabled[b] = true
+	}
+	if cfg.StaticGate >= 0 {
+		tc.enabled[cfg.StaticGate] = false
+	}
+	if cfg.Hopping {
+		// Start with the last bank gated; rotation proceeds 0,1,2,...
+		tc.gated = cfg.Banks - 1
+		if tc.gated == cfg.StaticGate {
+			panic("tcache: cannot hop with the only spare bank statically gated")
+		}
+		tc.enabled[tc.gated] = false
+	}
+	if tc.enabledCount() == 0 {
+		panic("tcache: no enabled banks")
+	}
+	tc.balanceMap()
+	return tc
+}
+
+// Banks returns the number of physical banks.
+func (tc *TraceCache) Banks() int { return tc.cfg.Banks }
+
+// Enabled reports whether bank b is currently powered.
+func (tc *TraceCache) Enabled(b int) bool { return tc.enabled[b] }
+
+// GatedBank returns the currently hop-gated bank, or -1.
+func (tc *TraceCache) GatedBank() int { return tc.gated }
+
+// MapTable returns a copy of the current mapping table.
+func (tc *TraceCache) MapTable() [MapEntries]uint8 { return tc.mapTable }
+
+func (tc *TraceCache) enabledCount() int {
+	n := 0
+	for _, e := range tc.enabled {
+		if e {
+			n++
+		}
+	}
+	return n
+}
+
+// mapIndex computes the five-bit table index from a trace address: the
+// bitwise XOR of two five-bit fields (§3.2.2).  The fields were chosen, as
+// in the paper, to spread addresses evenly over the 32 combinations.
+func mapIndex(id uint64) int {
+	return int((id ^ (id >> 5)) & (MapEntries - 1))
+}
+
+// BankFor returns the bank the mapping function currently assigns to the
+// trace address.
+func (tc *TraceCache) BankFor(id uint64) int {
+	return int(tc.mapTable[mapIndex(id)])
+}
+
+// Access looks up a trace line.  It returns whether it hit and which bank
+// served (or will be filled on miss).  Only the mapped bank is probed:
+// banks have non-overlapping contents from the lookup's point of view.
+func (tc *TraceCache) Access(id uint64) (hit bool, bank int) {
+	bank = tc.BankFor(id)
+	tc.Stats.Accesses++
+	tc.intervalAccesses[bank]++
+	if tc.banks[bank].Read(id << 6) {
+		return true, bank
+	}
+	tc.Stats.Misses++
+	// Attribute early misses on a freshly enabled bank to hopping.
+	if tc.cfg.Hopping && tc.sinceEnable[bank] < uint64(tc.cfg.TracesPerBank) {
+		tc.Stats.HopMisses++
+	}
+	return false, bank
+}
+
+// Fill inserts a trace line into its mapped bank after a miss refill.
+func (tc *TraceCache) Fill(id uint64) {
+	bank := tc.BankFor(id)
+	tc.banks[bank].Fill(id << 6)
+	tc.intervalAccesses[bank]++
+	tc.sinceEnable[bank]++
+}
+
+// IntervalAccesses returns per-bank access counts since the last call to
+// ResetInterval; the slice is valid until the next Access.
+func (tc *TraceCache) IntervalAccesses() []uint64 { return tc.intervalAccesses }
+
+// ResetInterval zeroes the per-interval access counters.
+func (tc *TraceCache) ResetInterval() {
+	for i := range tc.intervalAccesses {
+		tc.intervalAccesses[i] = 0
+	}
+}
+
+// Reconfigure applies the end-of-interval policy: rotate the gated bank if
+// hopping is enabled, then recompute the mapping table — biased by the
+// supplied per-bank temperatures if the thermal-aware mapping is on,
+// balanced otherwise.  temps must have one entry per bank (ignored unless
+// Biased).
+func (tc *TraceCache) Reconfigure(temps []float64) {
+	if tc.cfg.Hopping {
+		tc.hop()
+	}
+	if tc.cfg.Biased {
+		tc.biasMap(temps)
+		tc.Stats.Rebalances++
+	} else if tc.cfg.Hopping {
+		tc.balanceMap()
+	}
+}
+
+// hop advances the rotating Vdd-gate to the next non-statically-gated
+// bank.  The newly gated bank loses its contents (§3.2.1).
+func (tc *TraceCache) hop() {
+	next := (tc.gated + 1) % tc.cfg.Banks
+	for next == tc.cfg.StaticGate {
+		next = (next + 1) % tc.cfg.Banks
+	}
+	// Re-enable the previously gated bank (it was invalidated when gated,
+	// so it wakes up empty).
+	if tc.gated >= 0 {
+		tc.enabled[tc.gated] = true
+		tc.sinceEnable[tc.gated] = 0
+	}
+	tc.banks[next].InvalidateAll()
+	tc.enabled[next] = false
+	tc.gated = next
+	tc.Stats.Hops++
+}
+
+// balanceMap assigns the 32 table entries evenly among enabled banks, in
+// contiguous runs as in Figure 9 of the paper.
+func (tc *TraceCache) balanceMap() {
+	banks := tc.enabledBanks()
+	n := len(banks)
+	for e := 0; e < MapEntries; e++ {
+		tc.mapTable[e] = uint8(banks[e*n/MapEntries])
+	}
+}
+
+// biasMap implements the thermal-aware mapping function: each enabled
+// bank's share of the 32 entries is weighted by 2^(-ΔT/3°C) where ΔT is
+// its temperature minus the average of the enabled banks (§3.2.2); shares
+// are rounded by largest remainder and every enabled bank keeps at least
+// one entry.
+func (tc *TraceCache) biasMap(temps []float64) {
+	banks := tc.enabledBanks()
+	if len(temps) < tc.cfg.Banks {
+		// No sensor data: fall back to a balanced split.
+		tc.balanceMap()
+		return
+	}
+	avg := 0.0
+	for _, b := range banks {
+		avg += temps[b]
+	}
+	avg /= float64(len(banks))
+	weights := make([]float64, len(banks))
+	sum := 0.0
+	for i, b := range banks {
+		w := math.Exp2(-(temps[b] - avg) / tc.cfg.BiasDegreesPerHalving)
+		weights[i] = w
+		sum += w
+	}
+	// Largest-remainder apportionment of the 32 entries.
+	shares := make([]int, len(banks))
+	rema := make([]float64, len(banks))
+	total := 0
+	for i, w := range weights {
+		exact := float64(MapEntries) * w / sum
+		shares[i] = int(exact)
+		rema[i] = exact - float64(shares[i])
+		total += shares[i]
+	}
+	for total < MapEntries {
+		best := 0
+		for i := 1; i < len(rema); i++ {
+			if rema[i] > rema[best] {
+				best = i
+			}
+		}
+		shares[best]++
+		rema[best] = -1
+		total++
+	}
+	// Guarantee at least one entry per enabled bank.
+	for i := range shares {
+		if shares[i] == 0 {
+			donor := 0
+			for j := range shares {
+				if shares[j] > shares[donor] {
+					donor = j
+				}
+			}
+			shares[donor]--
+			shares[i]++
+		}
+	}
+	e := 0
+	for i, b := range banks {
+		for k := 0; k < shares[i]; k++ {
+			tc.mapTable[e] = uint8(b)
+			e++
+		}
+	}
+	for ; e < MapEntries; e++ { // defensive: cannot happen
+		tc.mapTable[e] = uint8(banks[len(banks)-1])
+	}
+}
+
+// enabledBanks lists the indices of the enabled banks in order.
+func (tc *TraceCache) enabledBanks() []int {
+	var out []int
+	for b, e := range tc.enabled {
+		if e {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// EntryShares returns how many mapping-table entries point at each bank.
+func (tc *TraceCache) EntryShares() []int {
+	shares := make([]int, tc.cfg.Banks)
+	for _, b := range tc.mapTable {
+		shares[b]++
+	}
+	return shares
+}
+
+// BankStats returns the tag-store statistics of bank b.
+func (tc *TraceCache) BankStats(b int) cache.Stats { return tc.banks[b].Stats }
+
+// ValidLines returns the number of valid lines in bank b.
+func (tc *TraceCache) ValidLines(b int) int { return tc.banks[b].ValidLines() }

@@ -1,0 +1,312 @@
+package tcache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func base2() Config {
+	return Config{Banks: 2, TracesPerBank: 64, Ways: 4, StaticGate: -1}
+}
+
+func hop3() Config {
+	return Config{Banks: 3, TracesPerBank: 64, Ways: 4, Hopping: true, StaticGate: -1}
+}
+
+func TestBalancedMapEvenSplit(t *testing.T) {
+	tc := New(base2())
+	shares := tc.EntryShares()
+	if shares[0] != 16 || shares[1] != 16 {
+		t.Fatalf("balanced shares = %v, want [16 16]", shares)
+	}
+	// Figure 9: contiguous runs.
+	tbl := tc.MapTable()
+	for e := 1; e < MapEntries; e++ {
+		if tbl[e] < tbl[e-1] {
+			t.Fatalf("map table not contiguous: %v", tbl)
+		}
+	}
+}
+
+func TestAccessMissFillHit(t *testing.T) {
+	tc := New(base2())
+	hit, bank := tc.Access(0x1234)
+	if hit {
+		t.Fatal("cold hit")
+	}
+	tc.Fill(0x1234)
+	hit2, bank2 := tc.Access(0x1234)
+	if !hit2 || bank2 != bank {
+		t.Fatalf("hit=%v bank=%d after fill into bank %d", hit2, bank2, bank)
+	}
+	if tc.Stats.Accesses != 2 || tc.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", tc.Stats)
+	}
+}
+
+func TestNonOverlappingLookup(t *testing.T) {
+	// A trace is only ever found in its currently mapped bank.
+	tc := New(base2())
+	id := uint64(7)
+	b := tc.BankFor(id)
+	tc.Fill(id)
+	// Force a different mapping by rebalancing with a fake temperature
+	// gradient that pushes everything to the other bank.
+	cfgBiased := base2()
+	cfgBiased.Biased = true
+	tcb := New(cfgBiased)
+	tcb.Fill(id)
+	hot := make([]float64, 2)
+	hot[tcb.BankFor(id)] = 100 // mapped bank is scorching
+	tcb.Reconfigure(hot)
+	if nb := tcb.BankFor(id); nb == b && tcb.EntryShares()[b] > 1 {
+		// Not guaranteed to move for every id, but the share must shrink.
+		t.Logf("trace kept its bank; shares now %v", tcb.EntryShares())
+	}
+	shares := tcb.EntryShares()
+	if shares[0] != 0 && shares[1] != 0 {
+		coldBank := 0
+		if hot[1] == 0 {
+			coldBank = 1
+		}
+		if shares[coldBank] <= MapEntries/2 {
+			t.Fatalf("cold bank share %d did not grow: %v", shares[coldBank], shares)
+		}
+	}
+}
+
+func TestBiasHalvingRule(t *testing.T) {
+	cfg := base2()
+	cfg.Biased = true
+	tc := New(cfg)
+	// Bank 0 exactly 3°C above bank 1 → weights 2^-1.5 ... relative share
+	// must be half: shares 1/3 vs 2/3 of 32 ≈ 11 vs 21.
+	tc.Reconfigure([]float64{76.5, 73.5})
+	shares := tc.EntryShares()
+	if shares[0]+shares[1] != MapEntries {
+		t.Fatalf("shares don't cover table: %v", shares)
+	}
+	ratio := float64(shares[1]) / float64(shares[0])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("3°C difference gave ratio %.2f, want ~2 (paper's halving rule)", ratio)
+	}
+}
+
+func TestBiasEqualTempsBalanced(t *testing.T) {
+	cfg := base2()
+	cfg.Biased = true
+	tc := New(cfg)
+	tc.Reconfigure([]float64{70, 70})
+	shares := tc.EntryShares()
+	if shares[0] != 16 || shares[1] != 16 {
+		t.Fatalf("equal temps gave shares %v", shares)
+	}
+}
+
+func TestBiasMinimumOneEntry(t *testing.T) {
+	cfg := base2()
+	cfg.Biased = true
+	tc := New(cfg)
+	tc.Reconfigure([]float64{150, 45}) // 105°C apart: extreme
+	shares := tc.EntryShares()
+	if shares[0] < 1 {
+		t.Fatalf("hot bank starved below one entry: %v", shares)
+	}
+	if shares[0]+shares[1] != MapEntries {
+		t.Fatalf("table not fully covered: %v", shares)
+	}
+}
+
+func TestBiasMissingSensorsFallsBack(t *testing.T) {
+	cfg := base2()
+	cfg.Biased = true
+	tc := New(cfg)
+	tc.Reconfigure(nil)
+	shares := tc.EntryShares()
+	if shares[0] != 16 || shares[1] != 16 {
+		t.Fatalf("fallback shares = %v", shares)
+	}
+}
+
+func TestHoppingRotation(t *testing.T) {
+	tc := New(hop3())
+	if g := tc.GatedBank(); g != 2 {
+		t.Fatalf("initial gated bank = %d, want 2", g)
+	}
+	seen := []int{tc.GatedBank()}
+	for i := 0; i < 3; i++ {
+		tc.Reconfigure(nil)
+		seen = append(seen, tc.GatedBank())
+	}
+	want := []int{2, 0, 1, 2}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("gating sequence %v, want %v", seen, want)
+		}
+	}
+	if tc.Stats.Hops != 3 {
+		t.Fatalf("Hops = %d", tc.Stats.Hops)
+	}
+}
+
+func TestHoppingAlwaysTwoEnabled(t *testing.T) {
+	tc := New(hop3())
+	for i := 0; i < 10; i++ {
+		n := 0
+		for b := 0; b < tc.Banks(); b++ {
+			if tc.Enabled(b) {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Fatalf("interval %d: %d banks enabled, want 2", i, n)
+		}
+		if tc.Enabled(tc.GatedBank()) {
+			t.Fatal("gated bank reported enabled")
+		}
+		tc.Reconfigure(nil)
+	}
+}
+
+func TestHoppingLosesContents(t *testing.T) {
+	tc := New(hop3())
+	// Fill some traces, then hop until their bank gets gated.
+	var ids []uint64
+	for id := uint64(0); id < 200; id++ {
+		if hit, _ := tc.Access(id); !hit {
+			tc.Fill(id)
+		}
+		ids = append(ids, id)
+	}
+	tc.Reconfigure(nil) // bank 0 becomes gated; its contents are lost
+	lost := 0
+	for _, id := range ids {
+		if hit, _ := tc.Access(id); !hit {
+			lost++
+			tc.Fill(id)
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no traces lost after a hop; gating must lose contents")
+	}
+	if tc.Stats.HopMisses == 0 {
+		t.Fatal("hop misses not attributed")
+	}
+}
+
+func TestMappedBankNeverGated(t *testing.T) {
+	tc := New(hop3())
+	for i := 0; i < 6; i++ {
+		for id := uint64(0); id < 500; id++ {
+			if b := tc.BankFor(id); b == tc.GatedBank() {
+				t.Fatalf("interval %d: trace %d mapped to gated bank %d", i, id, b)
+			}
+		}
+		tc.Reconfigure(nil)
+	}
+}
+
+func TestStaticGateBlankSilicon(t *testing.T) {
+	cfg := Config{Banks: 3, TracesPerBank: 64, Ways: 4, StaticGate: 2}
+	tc := New(cfg)
+	if tc.Enabled(2) {
+		t.Fatal("statically gated bank enabled")
+	}
+	shares := tc.EntryShares()
+	if shares[2] != 0 {
+		t.Fatalf("gated bank has map entries: %v", shares)
+	}
+	if shares[0] != 16 || shares[1] != 16 {
+		t.Fatalf("blank-silicon shares = %v", shares)
+	}
+	// Reconfigure must keep the static gate: no hopping configured.
+	tc.Reconfigure([]float64{50, 50, 50})
+	if tc.Enabled(2) || tc.GatedBank() != -1 {
+		t.Fatal("static gate violated by Reconfigure")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Banks: 0, TracesPerBank: 64, Ways: 4, StaticGate: -1},
+		{Banks: 2, TracesPerBank: 64, Ways: 4, StaticGate: 5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestIntervalAccessCounters(t *testing.T) {
+	tc := New(base2())
+	for id := uint64(0); id < 100; id++ {
+		if hit, _ := tc.Access(id); !hit {
+			tc.Fill(id)
+		}
+	}
+	tot := uint64(0)
+	for _, a := range tc.IntervalAccesses() {
+		tot += a
+	}
+	if tot == 0 {
+		t.Fatal("no interval accesses recorded")
+	}
+	tc.ResetInterval()
+	for _, a := range tc.IntervalAccesses() {
+		if a != 0 {
+			t.Fatal("ResetInterval did not clear counters")
+		}
+	}
+}
+
+// Property: the mapping table always covers all 32 entries with enabled
+// banks only, for arbitrary temperature vectors.
+func TestQuickMapTableInvariant(t *testing.T) {
+	cfg := hop3()
+	cfg.Biased = true
+	tc := New(cfg)
+	f := func(t0, t1, t2 float64) bool {
+		clamp := func(x float64) float64 {
+			if x != x || x > 500 {
+				return 500
+			}
+			if x < -100 {
+				return -100
+			}
+			return x
+		}
+		tc.Reconfigure([]float64{clamp(t0), clamp(t1), clamp(t2)})
+		tbl := tc.MapTable()
+		for _, b := range tbl {
+			if int(b) >= tc.Banks() || !tc.Enabled(int(b)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: hit rate is always in [0,1] and misses never exceed accesses.
+func TestQuickStatsInvariant(t *testing.T) {
+	tc := New(base2())
+	f := func(ids []uint64) bool {
+		for _, id := range ids {
+			if hit, _ := tc.Access(id % 4096); !hit {
+				tc.Fill(id % 4096)
+			}
+		}
+		hr := tc.Stats.HitRate()
+		return hr >= 0 && hr <= 1 && tc.Stats.Misses <= tc.Stats.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,276 @@
+// Package thermal implements the dynamic compact thermal model of §2.1 of
+// the paper: an RC network exploiting the duality between heat transfer
+// and electrical phenomena, in the style of Skadron et al.'s HotSpot.
+//
+// Every floorplan block is one silicon node with
+//
+//   - a thermal capacitance proportional to its area (die thickness is
+//     folded into the per-area constant),
+//   - a vertical conductance to the heat spreader (through the silicon
+//     bulk and the thermal interface material), and
+//   - lateral conductances to each adjacent block, proportional to the
+//     shared edge length and inversely proportional to the center
+//     distance.
+//
+// The copper heat spreader and the heat sink of §4 (3.1x3.1x0.23 cm
+// spreader, 7x8.3x4.11 cm sink) are single lumped nodes; the sink
+// convects to ambient air at a fixed temperature.  Their capacitances are
+// orders of magnitude larger than the blocks', which is why the paper
+// warm-starts simulations at the steady state: package time constants are
+// seconds while program intervals are milliseconds.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/floorplan"
+)
+
+// Params are the physical constants of the RC network.  DefaultParams
+// provides values calibrated for the paper's 65 nm / 10 GHz design point;
+// they reproduce the Figure 1 temperature landscape (frontend ≈ 62°C rise
+// peak, ≈ 25°C average) at the power model's nominal activity.
+type Params struct {
+	Ambient float64 // °C (paper: 45°C inside-box temperature)
+
+	// Per-block silicon constants.
+	CapPerMM2  float64 // J/K per mm² of block area
+	VertRAreaK float64 // vertical resistance·area, K·mm²/W (bulk + TIM)
+	LatK       float64 // lateral conductance scale, W/K per (mm shared / mm dist)
+
+	// Package.
+	SpreaderC    float64 // J/K
+	SpreaderR    float64 // K/W spreader→sink
+	SinkC        float64 // J/K
+	SinkR        float64 // K/W sink→ambient (convection)
+	EmergencyCap float64 // °C; steady-state solutions are capped here (381 K)
+}
+
+// DefaultParams returns the calibrated constants.
+func DefaultParams() Params {
+	return Params{
+		Ambient:      45,
+		CapPerMM2:    2.0e-4,
+		VertRAreaK:   17.0,
+		LatK:         0.08,
+		SpreaderC:    7.5,
+		SpreaderR:    0.04,
+		SinkC:        500,
+		SinkR:        0.07,
+		EmergencyCap: 108, // 381 K
+	}
+}
+
+// Model is the RC network for one floorplan.
+type Model struct {
+	fp     *floorplan.Floorplan
+	p      Params
+	n      int // number of block nodes; node n = spreader, n+1 = sink
+	caps   []float64
+	gVert  []float64 // block → spreader
+	adj    []floorplan.Adjacency
+	gLat   []float64 // conductance per adjacency
+	temps  []float64 // length n+2
+	minTau float64
+}
+
+// New builds the thermal model, with all nodes at ambient.
+func New(fp *floorplan.Floorplan, p Params) *Model {
+	n := len(fp.Blocks)
+	m := &Model{fp: fp, p: p, n: n}
+	m.caps = make([]float64, n+2)
+	m.gVert = make([]float64, n)
+	for i, b := range fp.Blocks {
+		m.caps[i] = p.CapPerMM2 * b.Area()
+		m.gVert[i] = b.Area() / p.VertRAreaK
+	}
+	m.caps[n] = p.SpreaderC
+	m.caps[n+1] = p.SinkC
+	m.adj = fp.Adjacencies()
+	m.gLat = make([]float64, len(m.adj))
+	for i, a := range m.adj {
+		d := a.Dist
+		if d < 0.1 {
+			d = 0.1
+		}
+		m.gLat[i] = p.LatK * a.Shared / d
+	}
+	m.temps = make([]float64, n+2)
+	for i := range m.temps {
+		m.temps[i] = p.Ambient
+	}
+	// Stability bound for explicit integration: tau = C / G_total.
+	m.minTau = math.Inf(1)
+	gTot := make([]float64, n+2)
+	for i := 0; i < n; i++ {
+		gTot[i] += m.gVert[i]
+		gTot[n] += m.gVert[i]
+	}
+	for i, a := range m.adj {
+		gTot[a.A] += m.gLat[i]
+		gTot[a.B] += m.gLat[i]
+	}
+	gTot[n] += 1 / p.SpreaderR
+	gTot[n+1] += 1/p.SpreaderR + 1/p.SinkR
+	for i := range gTot {
+		if gTot[i] > 0 {
+			if tau := m.caps[i] / gTot[i]; tau < m.minTau {
+				m.minTau = tau
+			}
+		}
+	}
+	return m
+}
+
+// Blocks returns the number of block nodes.
+func (m *Model) Blocks() int { return m.n }
+
+// Temp returns the temperature (°C) of block i.
+func (m *Model) Temp(i int) float64 { return m.temps[i] }
+
+// Temps returns the block temperatures (°C); the slice is a copy.
+func (m *Model) Temps() []float64 {
+	out := make([]float64, m.n)
+	copy(out, m.temps[:m.n])
+	return out
+}
+
+// SpreaderTemp and SinkTemp return the package node temperatures.
+func (m *Model) SpreaderTemp() float64 { return m.temps[m.n] }
+
+// SinkTemp returns the heat-sink temperature.
+func (m *Model) SinkTemp() float64 { return m.temps[m.n+1] }
+
+// Ambient returns the ambient temperature.
+func (m *Model) Ambient() float64 { return m.p.Ambient }
+
+// Rise returns block i's rise over ambient.
+func (m *Model) Rise(i int) float64 { return m.temps[i] - m.p.Ambient }
+
+// SetTemps overrides all node temperatures (blocks, spreader, sink).
+func (m *Model) SetTemps(block []float64, spreader, sink float64) {
+	if len(block) != m.n {
+		panic(fmt.Sprintf("thermal: SetTemps with %d blocks, want %d", len(block), m.n))
+	}
+	copy(m.temps, block)
+	m.temps[m.n] = spreader
+	m.temps[m.n+1] = sink
+}
+
+// Step advances the network by dt seconds with the given per-block power
+// (W).  It subdivides dt to honour the explicit-integration stability
+// bound.
+func (m *Model) Step(power []float64, dt float64) {
+	if len(power) != m.n {
+		panic(fmt.Sprintf("thermal: Step with %d powers, want %d blocks", len(power), m.n))
+	}
+	sub := m.minTau / 3
+	steps := int(dt/sub) + 1
+	h := dt / float64(steps)
+	n := m.n
+	dTdt := make([]float64, n+2)
+	for s := 0; s < steps; s++ {
+		for i := range dTdt {
+			dTdt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			dTdt[i] += power[i]
+			flow := m.gVert[i] * (m.temps[i] - m.temps[n])
+			dTdt[i] -= flow
+			dTdt[n] += flow
+		}
+		for i, a := range m.adj {
+			flow := m.gLat[i] * (m.temps[a.A] - m.temps[a.B])
+			dTdt[a.A] -= flow
+			dTdt[a.B] += flow
+		}
+		fSpSink := (m.temps[n] - m.temps[n+1]) / m.p.SpreaderR
+		dTdt[n] -= fSpSink
+		dTdt[n+1] += fSpSink
+		dTdt[n+1] -= (m.temps[n+1] - m.p.Ambient) / m.p.SinkR
+		for i := range m.temps {
+			m.temps[i] += h * dTdt[i] / m.caps[i]
+		}
+	}
+}
+
+// SteadyState solves the network for the equilibrium temperatures under
+// the given constant per-block power and installs them.  This implements
+// the paper's warm start: "we assume that the processor has already been
+// running for a long time ... until temperature converges".  Solutions
+// are capped at the emergency limit (381 K), as the paper caps its warm-
+// up.
+func (m *Model) SteadyState(power []float64) {
+	if len(power) != m.n {
+		panic(fmt.Sprintf("thermal: SteadyState with %d powers, want %d blocks", len(power), m.n))
+	}
+	n := m.n
+	size := n + 2
+	// Build G·T = P with ambient folded into the sink row.
+	a := make([][]float64, size)
+	for i := range a {
+		a[i] = make([]float64, size+1)
+	}
+	addG := func(i, j int, g float64) {
+		a[i][i] += g
+		a[j][j] += g
+		a[i][j] -= g
+		a[j][i] -= g
+	}
+	for i := 0; i < n; i++ {
+		addG(i, n, m.gVert[i])
+		a[i][size] = power[i]
+	}
+	for i, ad := range m.adj {
+		addG(ad.A, ad.B, m.gLat[i])
+	}
+	addG(n, n+1, 1/m.p.SpreaderR)
+	a[n+1][n+1] += 1 / m.p.SinkR
+	a[n+1][size] += m.p.Ambient / m.p.SinkR
+
+	solveInPlace(a)
+	for i := 0; i < size; i++ {
+		t := a[i][size]
+		if t > m.p.EmergencyCap {
+			t = m.p.EmergencyCap
+		}
+		m.temps[i] = t
+	}
+}
+
+// solveInPlace performs Gaussian elimination with partial pivoting on an
+// augmented matrix, leaving the solution in the last column.
+func solveInPlace(a [][]float64) {
+	size := len(a)
+	for col := 0; col < size; col++ {
+		pivot := col
+		for r := col + 1; r < size; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if math.Abs(a[col][col]) < 1e-18 {
+			continue // singular row; leave zero
+		}
+		inv := 1 / a[col][col]
+		for r := 0; r < size; r++ {
+			if r == col {
+				continue
+			}
+			factor := a[r][col] * inv
+			if factor == 0 {
+				continue
+			}
+			for c := col; c <= size; c++ {
+				a[r][c] -= factor * a[col][c]
+			}
+		}
+	}
+	for i := 0; i < size; i++ {
+		if math.Abs(a[i][i]) > 1e-18 {
+			a[i][size] /= a[i][i]
+		}
+	}
+}

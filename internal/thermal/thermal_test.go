@@ -1,0 +1,237 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/floorplan"
+)
+
+func model() *Model {
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	return New(fp, DefaultParams())
+}
+
+func TestStartsAtAmbient(t *testing.T) {
+	m := model()
+	for i := 0; i < m.Blocks(); i++ {
+		if m.Temp(i) != m.Ambient() {
+			t.Fatalf("block %d starts at %v", i, m.Temp(i))
+		}
+	}
+	if m.SpreaderTemp() != m.Ambient() || m.SinkTemp() != m.Ambient() {
+		t.Fatal("package nodes not at ambient")
+	}
+}
+
+func TestZeroPowerStaysAtAmbient(t *testing.T) {
+	m := model()
+	p := make([]float64, m.Blocks())
+	m.Step(p, 1e-3)
+	for i := 0; i < m.Blocks(); i++ {
+		if math.Abs(m.Rise(i)) > 1e-9 {
+			t.Fatalf("block %d drifted to %v with zero power", i, m.Temp(i))
+		}
+	}
+	m.SteadyState(p)
+	for i := 0; i < m.Blocks(); i++ {
+		if math.Abs(m.Rise(i)) > 1e-6 {
+			t.Fatalf("steady state with zero power: block %d at %v", i, m.Temp(i))
+		}
+	}
+}
+
+func TestSteadyStateEnergyBalance(t *testing.T) {
+	// At steady state the total power must flow to ambient through the
+	// sink: T_sink - T_amb = P_total * SinkR.
+	m := model()
+	p := make([]float64, m.Blocks())
+	total := 0.0
+	for i := range p {
+		p[i] = 0.5 + float64(i%3)
+		total += p[i]
+	}
+	m.SteadyState(p)
+	want := total * DefaultParams().SinkR
+	got := m.SinkTemp() - m.Ambient()
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Fatalf("sink rise = %v, want %v (energy conservation)", got, want)
+	}
+	// Spreader must be hotter than sink, blocks hotter than spreader on
+	// average.
+	if m.SpreaderTemp() <= m.SinkTemp() {
+		t.Fatal("spreader not hotter than sink")
+	}
+}
+
+func TestHotterBlockForMorePower(t *testing.T) {
+	m := model()
+	p := make([]float64, m.Blocks())
+	p[0] = 1
+	p[1] = 5 // same chip, one block hotter
+	m.SteadyState(p)
+	if m.Temp(1) <= m.Temp(0) {
+		t.Fatalf("block with 5x power not hotter: %v vs %v", m.Temp(1), m.Temp(0))
+	}
+}
+
+func TestDensityNotJustPowerMatters(t *testing.T) {
+	// Equal power into a small block (RAT) and a big one (UL2): the small
+	// block must get hotter (higher power density).
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	m := New(fp, DefaultParams())
+	p := make([]float64, m.Blocks())
+	rat, ul2 := fp.Index(floorplan.RAT), fp.Index(floorplan.UL2)
+	p[rat] = 3
+	p[ul2] = 3
+	m.SteadyState(p)
+	if m.Temp(rat) <= m.Temp(ul2) {
+		t.Fatalf("dense block not hotter: RAT %v vs UL2 %v", m.Temp(rat), m.Temp(ul2))
+	}
+}
+
+func TestStepConvergesToSteadyState(t *testing.T) {
+	m1, m2 := model(), model()
+	p := make([]float64, m1.Blocks())
+	for i := range p {
+		p[i] = 1.0
+	}
+	m1.SteadyState(p)
+	// Transient integration for many block time constants must approach
+	// the same solution for the block-spreader subsystem.  (The sink has
+	// a ~minute-scale constant, so pin spreader/sink at the steady state
+	// and let the blocks settle.)
+	blocks := make([]float64, m2.Blocks())
+	for i := range blocks {
+		blocks[i] = m2.Ambient()
+	}
+	m2.SetTemps(blocks, m1.SpreaderTemp(), m1.SinkTemp())
+	for s := 0; s < 2000; s++ {
+		m2.Step(p, 1e-3)
+	}
+	for i := 0; i < m1.Blocks(); i++ {
+		if d := math.Abs(m1.Temp(i) - m2.Temp(i)); d > 0.5 {
+			t.Fatalf("block %d: transient %.2f vs steady %.2f", i, m2.Temp(i), m1.Temp(i))
+		}
+	}
+}
+
+func TestThermalInertia(t *testing.T) {
+	// One short step must move a block only partway to equilibrium.
+	m := model()
+	p := make([]float64, m.Blocks())
+	p[0] = 5
+	eq := model()
+	eq.SteadyState(p)
+	m.Step(p, 1e-4)
+	if m.Temp(0) >= eq.Temp(0) {
+		t.Fatal("no thermal inertia: single step reached equilibrium")
+	}
+	if m.Temp(0) <= m.Ambient() {
+		t.Fatal("block did not heat at all")
+	}
+}
+
+func TestEmergencyCapApplied(t *testing.T) {
+	m := model()
+	p := make([]float64, m.Blocks())
+	p[0] = 10000 // absurd power
+	m.SteadyState(p)
+	if m.Temp(0) > DefaultParams().EmergencyCap+1e-9 {
+		t.Fatalf("steady state %v exceeds the 381 K emergency cap", m.Temp(0))
+	}
+}
+
+func TestLateralCoupling(t *testing.T) {
+	// Heating ROB must warm its neighbour RAT more than the distant UL2
+	// (per mm², both unpowered).
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	m := New(fp, DefaultParams())
+	p := make([]float64, m.Blocks())
+	p[fp.Index(floorplan.ROB)] = 8
+	m.SteadyState(p)
+	rat := m.Temp(fp.Index(floorplan.RAT))
+	far := m.Temp(fp.Index("C3.IS"))
+	if rat <= far {
+		t.Fatalf("neighbour RAT (%v) not hotter than far block (%v)", rat, far)
+	}
+}
+
+func TestSetTempsValidation(t *testing.T) {
+	m := model()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetTemps with wrong length did not panic")
+		}
+	}()
+	m.SetTemps([]float64{1, 2, 3}, 45, 45)
+}
+
+func TestStepValidation(t *testing.T) {
+	m := model()
+	defer func() {
+		if recover() == nil {
+			t.Error("Step with wrong power length did not panic")
+		}
+	}()
+	m.Step([]float64{1}, 1e-3)
+}
+
+func TestSteadyStateValidation(t *testing.T) {
+	m := model()
+	defer func() {
+		if recover() == nil {
+			t.Error("SteadyState with wrong power length did not panic")
+		}
+	}()
+	m.SteadyState([]float64{1})
+}
+
+// Property: steady-state temperatures are monotone in power — more power
+// in any block cannot cool any other block.
+func TestQuickMonotonePower(t *testing.T) {
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	f := func(blockSeed uint8, extra uint8) bool {
+		m1 := New(fp, DefaultParams())
+		m2 := New(fp, DefaultParams())
+		p := make([]float64, m1.Blocks())
+		for i := range p {
+			p[i] = 1
+		}
+		m1.SteadyState(p)
+		i := int(blockSeed) % len(p)
+		p[i] += 0.1 + float64(extra)/64
+		m2.SteadyState(p)
+		for j := 0; j < m1.Blocks(); j++ {
+			if m2.Temp(j) < m1.Temp(j)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rises scale linearly with power (the RC network is linear).
+func TestQuickLinearity(t *testing.T) {
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	m1 := New(fp, DefaultParams())
+	m2 := New(fp, DefaultParams())
+	p1 := make([]float64, m1.Blocks())
+	p2 := make([]float64, m1.Blocks())
+	for i := range p1 {
+		p1[i] = 0.5
+		p2[i] = 1.0
+	}
+	m1.SteadyState(p1)
+	m2.SteadyState(p2)
+	for i := 0; i < m1.Blocks(); i++ {
+		r1, r2 := m1.Rise(i), m2.Rise(i)
+		if r1 > 1e-9 && math.Abs(r2/r1-2) > 1e-6 {
+			t.Fatalf("block %d: rises %v, %v not linear", i, r1, r2)
+		}
+	}
+}

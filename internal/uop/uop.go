@@ -1,0 +1,152 @@
+// Package uop defines the micro-operation model used throughout the
+// simulator.
+//
+// The simulated machine is a clustered IA32-like microarchitecture whose
+// frontend reads macro-instructions, translates them into micro-ops and
+// stores them in a trace cache (see the paper, Section 2).  This package
+// models only what the timing, power and thermal models need: the op class,
+// the logical registers read and written, memory addresses, and branch
+// behaviour.  Macro-instruction decoding itself is abstracted behind the
+// trace abstraction in package workload.
+package uop
+
+import "fmt"
+
+// Class enumerates micro-op classes.  Each class maps to one functional
+// unit type and one issue queue in the backend.
+type Class uint8
+
+// Micro-op classes.  Copy is generated internally by the rename stage to
+// move register values between clusters; it never appears in a program
+// trace.
+const (
+	IntALU     Class = iota // single-cycle integer ALU op
+	IntMul                  // pipelined integer multiply
+	IntDiv                  // unpipelined integer divide
+	FPAdd                   // floating-point add/sub/convert
+	FPMul                   // floating-point multiply
+	FPDiv                   // unpipelined floating-point divide
+	Load                    // memory load
+	Store                   // memory store
+	Branch                  // conditional or indirect branch
+	Copy                    // inter-cluster register copy (internal)
+	NumClasses              // number of classes; not a real class
+)
+
+var classNames = [NumClasses]string{
+	"IntALU", "IntMul", "IntDiv", "FPAdd", "FPMul", "FPDiv",
+	"Load", "Store", "Branch", "Copy",
+}
+
+// String returns the mnemonic name of the class.
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsMem reports whether the class accesses data memory.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsFP reports whether the class executes on the floating-point unit.
+func (c Class) IsFP() bool { return c == FPAdd || c == FPMul || c == FPDiv }
+
+// IsInt reports whether the class executes on the integer unit.
+func (c Class) IsInt() bool {
+	return c == IntALU || c == IntMul || c == IntDiv || c == Branch
+}
+
+// Latency returns the execution latency of the class in cycles.  The values
+// are typical for a deeply pipelined high-frequency design (the paper
+// assumes a 10 GHz processor at 65 nm).
+func (c Class) Latency() int {
+	switch c {
+	case IntALU, Branch:
+		return 1
+	case IntMul:
+		return 4
+	case IntDiv:
+		return 20
+	case FPAdd:
+		return 4
+	case FPMul:
+		return 6
+	case FPDiv:
+		return 24
+	case Load:
+		return 1 // address generation; cache latency is added separately
+	case Store:
+		return 1 // address generation; data is written at commit
+	case Copy:
+		return 1 // register-file read; link traversal is added separately
+	}
+	return 1
+}
+
+// Logical register file layout.  The IA32 architectural state is modelled
+// as a flat space of logical registers: the first NumIntRegs name integer
+// registers (including flags and address registers), the rest name
+// floating-point/SSE registers.
+const (
+	NumIntRegs     = 16
+	NumFPRegs      = 16
+	NumLogicalRegs = NumIntRegs + NumFPRegs
+)
+
+// RegNone marks an absent register operand.
+const RegNone int8 = -1
+
+// IsFPReg reports whether logical register r belongs to the floating-point
+// register space.
+func IsFPReg(r int8) bool { return r >= NumIntRegs }
+
+// MicroOp is one micro-operation flowing through the pipeline.
+//
+// Register operands are logical register indices or RegNone.  Addr is the
+// effective data address for loads and stores.  Branch micro-ops carry
+// their resolved direction and whether the (simulated) branch predictor
+// mispredicted them; the simulator charges a pipeline redirect when a
+// mispredicted branch executes.
+type MicroOp struct {
+	Seq      uint64 // program order sequence number, dense from 0
+	PC       uint64 // micro-op PC (trace-constructed)
+	Class    Class
+	Src1     int8 // first source logical register or RegNone
+	Src2     int8 // second source logical register or RegNone
+	Dst      int8 // destination logical register or RegNone
+	Addr     uint64
+	Taken    bool // branch resolved taken
+	Mispred  bool // branch was mispredicted at fetch
+	TraceEnd bool // last micro-op of its trace-cache line
+}
+
+// HasDst reports whether the op writes a logical register.
+func (u *MicroOp) HasDst() bool { return u.Dst != RegNone }
+
+// Sources returns the op's source registers, skipping RegNone entries.
+func (u *MicroOp) Sources() (srcs [2]int8, n int) {
+	if u.Src1 != RegNone {
+		srcs[n] = u.Src1
+		n++
+	}
+	if u.Src2 != RegNone {
+		srcs[n] = u.Src2
+		n++
+	}
+	return srcs, n
+}
+
+// Trace is a trace-cache line: a short sequence of consecutive micro-ops
+// identified by the address of its first instruction combined with the
+// directions of its internal branches (the paper's "branch bits plus the PC
+// of the first instruction of the trace").
+type Trace struct {
+	ID  uint64 // trace identifier (start PC ⊕ branch-bit field)
+	Ops []MicroOp
+}
+
+// MaxTraceOps is the maximum number of micro-ops per trace-cache line.
+// The machine fetches up to one trace line per cycle and dispatches up to
+// 8 micro-ops per cycle (Table 1), so lines hold at most 8 micro-ops.
+const MaxTraceOps = 8

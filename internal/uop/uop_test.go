@@ -1,0 +1,94 @@
+package uop
+
+import "testing"
+
+func TestClassString(t *testing.T) {
+	cases := map[Class]string{
+		IntALU: "IntALU", IntMul: "IntMul", IntDiv: "IntDiv",
+		FPAdd: "FPAdd", FPMul: "FPMul", FPDiv: "FPDiv",
+		Load: "Load", Store: "Store", Branch: "Branch", Copy: "Copy",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := Class(200).String(); got != "Class(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	if !Load.IsMem() || !Store.IsMem() {
+		t.Error("Load/Store must be memory classes")
+	}
+	if IntALU.IsMem() || Branch.IsMem() || Copy.IsMem() {
+		t.Error("non-memory class reported as memory")
+	}
+	for _, c := range []Class{FPAdd, FPMul, FPDiv} {
+		if !c.IsFP() {
+			t.Errorf("%v must be FP", c)
+		}
+		if c.IsInt() {
+			t.Errorf("%v must not be Int", c)
+		}
+	}
+	for _, c := range []Class{IntALU, IntMul, IntDiv, Branch} {
+		if !c.IsInt() {
+			t.Errorf("%v must be Int", c)
+		}
+		if c.IsFP() {
+			t.Errorf("%v must not be FP", c)
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.Latency() < 1 {
+			t.Errorf("%v latency %d < 1", c, c.Latency())
+		}
+	}
+	if IntDiv.Latency() <= IntMul.Latency() {
+		t.Error("IntDiv must be slower than IntMul")
+	}
+	if FPDiv.Latency() <= FPMul.Latency() {
+		t.Error("FPDiv must be slower than FPMul")
+	}
+}
+
+func TestRegisterSpaces(t *testing.T) {
+	if NumLogicalRegs != NumIntRegs+NumFPRegs {
+		t.Fatal("register space sizes inconsistent")
+	}
+	if IsFPReg(0) || IsFPReg(NumIntRegs-1) {
+		t.Error("integer registers classified as FP")
+	}
+	if !IsFPReg(NumIntRegs) || !IsFPReg(NumLogicalRegs-1) {
+		t.Error("FP registers not classified as FP")
+	}
+}
+
+func TestSources(t *testing.T) {
+	u := MicroOp{Src1: 3, Src2: RegNone}
+	srcs, n := u.Sources()
+	if n != 1 || srcs[0] != 3 {
+		t.Errorf("Sources() = %v, %d; want [3], 1", srcs[:n], n)
+	}
+	u = MicroOp{Src1: RegNone, Src2: RegNone}
+	if _, n := u.Sources(); n != 0 {
+		t.Errorf("Sources() on empty op returned %d", n)
+	}
+	u = MicroOp{Src1: 1, Src2: 17, Dst: RegNone}
+	srcs, n = u.Sources()
+	if n != 2 || srcs[0] != 1 || srcs[1] != 17 {
+		t.Errorf("Sources() = %v, %d", srcs[:n], n)
+	}
+	if u.HasDst() {
+		t.Error("HasDst true for op without destination")
+	}
+	u.Dst = 5
+	if !u.HasDst() {
+		t.Error("HasDst false for op with destination")
+	}
+}
