@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+# The full tier-1 gate: formatting, vet, build, tests.
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .

@@ -53,7 +53,10 @@ func BenchmarkTable1Config(b *testing.B) {
 // BenchmarkFigure1 regenerates the baseline temperature landscape.
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure1(benchOpts(), nil)
+		r, err := experiments.Figure1(benchOpts(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.Processor.AbsMax, "processor_peak_C")
 		b.ReportMetric(r.Processor.Average, "processor_avg_C")
 		b.ReportMetric(r.Frontend.AbsMax, "frontend_peak_C")
@@ -66,7 +69,10 @@ func BenchmarkFigure1(b *testing.B) {
 // BenchmarkFigure12 regenerates the distributed rename/commit figure.
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Figure12(benchOpts(), nil)
+		rows, err := experiments.Figure12(benchOpts(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		r := rows[0]
 		reportTriple(b, "rob", r.ROB)
 		reportTriple(b, "rat", r.RAT)
@@ -77,7 +83,10 @@ func BenchmarkFigure12(b *testing.B) {
 // BenchmarkFigure13 regenerates the thermal-aware trace cache figure.
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Figure13(benchOpts(), nil)
+		rows, err := experiments.Figure13(benchOpts(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			switch r.Name {
 			case "Address Biasing":
@@ -97,7 +106,10 @@ func BenchmarkFigure13(b *testing.B) {
 // BenchmarkFigure14 regenerates the combined distributed frontend figure.
 func BenchmarkFigure14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Figure14(benchOpts(), nil)
+		rows, err := experiments.Figure14(benchOpts(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		r := rows[len(rows)-1] // the full combination
 		reportTriple(b, "rob", r.ROB)
 		reportTriple(b, "rat", r.RAT)

@@ -34,6 +34,7 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "override warmup micro-ops")
 		measure   = flag.Uint64("measure", 0, "override measured micro-ops")
 		interval  = flag.Uint64("interval", 0, "override interval cycles")
+		workers   = flag.Int("workers", 0, "suite worker pool size (default: GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -60,11 +61,23 @@ func main() {
 	if *interval > 0 {
 		opt.Sim.IntervalCycles = *interval
 	}
+	opt.Workers = *workers
 
 	out := os.Stdout
 	progress := os.Stderr
-	fmt.Fprintf(progress, "suite: %s\n", strings.Join(experiments.SuiteNames(opt), " "))
+	names, err := experiments.SuiteNames(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(progress, "suite: %s\n", strings.Join(names, " "))
 
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *table1 {
 		experiments.Banner(out, "Table 1")
 		experiments.Table1(out)
@@ -72,25 +85,29 @@ func main() {
 	if *fig1 {
 		experiments.Banner(out, "Figure 1")
 		fmt.Fprint(progress, "figure 1:")
-		r := experiments.Figure1(opt, progress)
+		r, err := experiments.Figure1(opt, progress)
+		fail(err)
 		r.Print(out)
 	}
 	if *fig12 {
 		experiments.Banner(out, "Figure 12")
 		fmt.Fprint(progress, "figure 12:")
-		rows := experiments.Figure12(opt, progress)
+		rows, err := experiments.Figure12(opt, progress)
+		fail(err)
 		experiments.PrintRows(out, "Figure 12. Reduction of temperature for the distributed renaming and commit", rows)
 	}
 	if *fig13 {
 		experiments.Banner(out, "Figure 13")
 		fmt.Fprint(progress, "figure 13:")
-		rows := experiments.Figure13(opt, progress)
+		rows, err := experiments.Figure13(opt, progress)
+		fail(err)
 		experiments.PrintRows(out, "Figure 13. Sub-banked trace cache temperature improvements", rows)
 	}
 	if *fig14 {
 		experiments.Banner(out, "Figure 14")
 		fmt.Fprint(progress, "figure 14:")
-		rows := experiments.Figure14(opt, progress)
+		rows, err := experiments.Figure14(opt, progress)
+		fail(err)
 		experiments.PrintRows(out, "Figure 14. Overall temperature results for the distributed frontend", rows)
 	}
 }

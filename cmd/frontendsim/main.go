@@ -1,23 +1,24 @@
 // Command frontendsim runs a single configuration on a single benchmark
-// and reports pipeline, power and temperature results.
+// through the public frontendsim Engine and reports pipeline, power and
+// temperature results.  Ctrl-C cancels the run between thermal intervals.
 //
 // Usage:
 //
 //	frontendsim [-bench gzip] [-distributed] [-hopping] [-biased] [-blank]
-//	            [-warmup N] [-measure N] [-v]
+//	            [-dtm] [-warmup N] [-measure N] [-intervals] [-v]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/floorplan"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/pkg/frontendsim"
 )
 
 func main() {
@@ -27,65 +28,86 @@ func main() {
 		hopping     = flag.Bool("hopping", false, "trace-cache bank hopping")
 		biased      = flag.Bool("biased", false, "thermal-aware biased bank mapping")
 		blank       = flag.Bool("blank", false, "blank-silicon comparison configuration")
-		warmup      = flag.Uint64("warmup", 120_000, "warmup micro-ops")
-		measure     = flag.Uint64("measure", 300_000, "measured micro-ops")
+		dtmOn       = flag.Bool("dtm", false, "enable the fetch-toggling DTM controller")
+		warmup      = flag.Uint64("warmup", 120_000, "warmup micro-ops (0 = paper default)")
+		measure     = flag.Uint64("measure", 300_000, "measured micro-ops (0 = paper default)")
+		stream      = flag.Bool("intervals", false, "stream per-interval snapshots to stderr")
 		verbose     = flag.Bool("v", false, "per-block power/temperature dump")
 	)
 	flag.Parse()
 
-	prof, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q; available: %v\n", *bench, workload.Names())
+	req := frontendsim.Request{
+		Benchmark:     *bench,
+		BankHopping:   *hopping,
+		BiasedMapping: *biased,
+		BlankSilicon:  *blank,
+		DTM:           *dtmOn,
+		WarmupOps:     *warmup,
+		MeasureOps:    *measure,
+	}
+	if *distributed {
+		req.Frontends = 2
+	}
+	if err := req.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	cfg := core.DefaultConfig()
-	if *distributed {
-		cfg = cfg.WithDistributedFrontend(2)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := frontendsim.New()
+	var observers []frontendsim.Observer
+	if *stream {
+		observers = append(observers, frontendsim.ObserverFunc(func(s frontendsim.Snapshot) {
+			peak := 0.0
+			for _, t := range s.TempsC {
+				if t > peak {
+					peak = t
+				}
+			}
+			fmt.Fprintf(os.Stderr, "interval %3d: %7d cycles, IPC %5.3f, peak %6.1f°C, hops %d\n",
+				s.Interval, s.DeltaCycles, s.IPC, peak, s.Hops)
+		}))
 	}
-	if *hopping {
-		cfg = cfg.WithBankHopping()
-	}
-	if *biased {
-		cfg = cfg.WithBiasedMapping()
-	}
-	if *blank {
-		if *hopping {
-			fmt.Fprintln(os.Stderr, "-blank and -hopping are mutually exclusive")
-			os.Exit(1)
+	r, err := eng.RunObserved(ctx, req, observers...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "run cancelled")
+		} else {
+			fmt.Fprintln(os.Stderr, err)
 		}
-		cfg = cfg.WithBlankSilicon()
+		os.Exit(1)
 	}
+	cfg := r.Config
 
-	opt := sim.DefaultOptions()
-	opt.WarmupOps = *warmup
-	opt.MeasureOps = *measure
-	r := sim.Run(cfg, prof, opt)
-
-	fmt.Printf("benchmark      %s\n", r.Bench)
+	fmt.Printf("benchmark      %s\n", r.Benchmark)
 	fmt.Printf("configuration  frontends=%d tcBanks=%d hopping=%v biased=%v staticGate=%d\n",
 		cfg.Frontends, cfg.TC.Banks, cfg.TC.Hopping, cfg.TC.Biased, cfg.TC.StaticGate)
-	fmt.Printf("measured       %d µops in %d cycles (IPC %.3f)\n", r.MeasOps, r.MeasCycles, r.IPC())
+	fmt.Printf("measured       %d µops in %d cycles (IPC %.3f)\n", r.MeasOps, r.MeasCycles, r.IPC)
 	fmt.Printf("trace cache    hit rate %.4f, hops %d\n", r.TCHitRate, r.TCHops)
+	raw := r.Raw()
 	fmt.Printf("mispredicts    %d, copies %d (cross-frontend %d)\n",
-		r.Stats.Mispredicts, r.Stats.Copies, r.Stats.CrossFrontend)
+		raw.Stats.Mispredicts, raw.Stats.Copies, raw.Stats.CrossFrontend)
+	if *dtmOn {
+		fmt.Printf("dtm            %d engagements, %d throttled intervals, min duty %d\n",
+			r.DTMEngagements, r.DTMThrottled, r.DTMMinDuty)
+	}
 
-	units := []struct {
-		name   string
-		filter func(string) bool
-	}{
-		{"Processor", nil},
-		{"Frontend", floorplan.IsFrontend},
-		{"Backend", floorplan.IsBackend},
-		{"UL2", func(n string) bool { return n == floorplan.UL2 }},
-		{"ROB", floorplan.IsROB},
-		{"RAT", floorplan.IsRAT},
-		{"TraceCache", floorplan.IsTraceCache},
+	units := []string{
+		frontendsim.UnitProcessor,
+		frontendsim.UnitFrontend,
+		frontendsim.UnitBackend,
+		frontendsim.UnitUL2,
+		frontendsim.UnitROB,
+		frontendsim.UnitRAT,
+		frontendsim.UnitTraceCache,
 	}
 	fmt.Printf("\n%-11s %8s %8s %8s   (rise over %.0f°C ambient)\n",
-		"unit", "AbsMax", "Average", "AvgMax", r.Temps.Ambient())
+		"unit", "AbsMax", "Average", "AvgMax", r.AmbientC)
 	for _, u := range units {
-		tr := r.Temps.Unit(u.filter)
-		fmt.Printf("%-11s %8.1f %8.1f %8.1f\n", u.name, tr.AbsMax, tr.Average, tr.AvgMax)
+		tr := r.Units[u]
+		fmt.Printf("%-11s %8.1f %8.1f %8.1f\n", u, tr.AbsMax, tr.Average, tr.AvgMax)
 	}
 
 	if *verbose {
@@ -96,10 +118,8 @@ func main() {
 			peak  float64
 		}
 		var rows []row
-		for i, b := range r.Floorplan.Blocks {
-			name := b.Name
-			rows = append(rows, row{name, r.AvgPower[i],
-				r.Temps.AbsMax(func(n string) bool { return n == name })})
+		for i, name := range r.Blocks {
+			rows = append(rows, row{name, r.AvgPowerW[i], r.PeakRiseC[i]})
 		}
 		sort.Slice(rows, func(i, j int) bool { return rows[i].peak > rows[j].peak })
 		for _, rw := range rows {

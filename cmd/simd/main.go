@@ -1,0 +1,75 @@
+// Command simd serves thermal simulations over HTTP: a thin
+// request/response frontend (in the spirit of Thanos's query-frontend)
+// over the public frontendsim Engine, with an in-memory LRU response
+// cache keyed on the canonical request hash.
+//
+// Usage:
+//
+//	simd [-addr :8723] [-cache 512] [-workers N]
+//	     [-warmup N] [-measure N] [-interval N]
+//
+// Endpoints:
+//
+//	POST /v1/simulations        JSON request -> JSON result (cached)
+//	POST /v1/simulations/stream JSON request -> NDJSON per-interval stream
+//	GET  /v1/benchmarks         available benchmark profiles
+//	GET  /v1/cache/stats        response-cache counters
+//	GET  /healthz               liveness
+//
+// Example:
+//
+//	curl -s localhost:8723/v1/simulations -d '{"benchmark":"gzip","frontends":2,"bank_hopping":true}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/simd"
+	"repro/pkg/frontendsim"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8723", "listen address")
+		cacheSize = flag.Int("cache", 512, "LRU response cache entries (0 disables)")
+		workers   = flag.Int("workers", 0, "max concurrent simulations (default: GOMAXPROCS)")
+		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default)")
+		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default)")
+		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
+	)
+	flag.Parse()
+
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(*warmup),
+		frontendsim.WithMeasureOps(*measure),
+		frontendsim.WithIntervalCycles(*interval),
+		frontendsim.WithWorkers(*workers),
+	)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           simd.NewServer(eng, *cacheSize),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "simd: listening on %s (%s)\n", *addr, simd.Describe())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

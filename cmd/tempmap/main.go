@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,8 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/pkg/frontendsim"
 )
 
 func main() {
@@ -54,22 +54,22 @@ func main() {
 	if !*temps {
 		return
 	}
-	prof, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(60_000),
+		frontendsim.WithMeasureOps(120_000),
+	)
+	r, err := eng.Run(context.Background(), frontendsim.Request{Benchmark: *bench, Config: &cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opt := sim.DefaultOptions()
-	opt.WarmupOps, opt.MeasureOps = 60_000, 120_000
-	r := sim.Run(cfg, prof, opt)
 	type row struct {
 		name string
 		peak float64
 	}
 	var rows []row
-	for _, b := range fp.Blocks {
-		name := b.Name
-		rows = append(rows, row{name, r.Temps.AbsMax(func(n string) bool { return n == name })})
+	for i, name := range r.Blocks {
+		rows = append(rows, row{name, r.PeakRiseC[i]})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].peak > rows[j].peak })
 	fmt.Printf("Peak rise over ambient on %s:\n", *bench)

@@ -10,23 +10,27 @@
 //     bank hopping, hopping+biasing.
 //   - Figure 14: the combined distributed frontend.
 //
-// Each experiment runs a set of configurations over the SPEC2000 profile
-// suite, averages the paper's metrics across benchmarks (the paper
-// reports suite averages; "all of them follow the same trend"), and
-// renders rows shaped like the paper's plots.
+// Each experiment sweeps a set of configurations over the SPEC2000
+// profile suite through the public frontendsim Engine — benchmarks run on
+// a bounded worker pool and the per-benchmark results are folded in suite
+// order, so a parallel run aggregates identically to a serial one —
+// averages the paper's metrics across benchmarks (the paper reports suite
+// averages; "all of them follow the same trend"), and renders rows shaped
+// like the paper's plots.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/floorplan"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
+	"repro/pkg/frontendsim"
 )
 
 // Options selects the benchmarks and simulation lengths.
@@ -35,6 +39,8 @@ type Options struct {
 	Benchmarks []string
 	// Sim carries the per-run simulation options.
 	Sim sim.Options
+	// Workers bounds the Engine's worker pool (< 1 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOptions runs the full suite at the standard scaled lengths.
@@ -52,20 +58,50 @@ func QuickOptions() Options {
 	return o
 }
 
-func (o Options) profiles() []workload.Profile {
-	all := workload.SPEC2000()
+// suiteNames resolves the selected benchmarks in suite order, validating
+// each through the frontendsim request path (an unknown benchmark used to
+// panic here; it now surfaces as an error).
+func (o Options) suiteNames() ([]string, error) {
 	if o.Benchmarks == nil {
-		return all
+		return workload.Names(), nil
 	}
-	var out []workload.Profile
-	for _, name := range o.Benchmarks {
-		p, ok := workload.ByName(name)
-		if !ok {
-			panic("experiments: unknown benchmark " + name)
+	names := make([]string, 0, len(o.Benchmarks))
+	for _, n := range o.Benchmarks {
+		if err := (frontendsim.Request{Benchmark: n}).Validate(); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
 		}
-		out = append(out, p)
+		names = append(names, n)
 	}
-	return out
+	return names, nil
+}
+
+// engine builds the public Engine the experiment runs through.
+func (o Options) engine() *frontendsim.Engine {
+	opts := []frontendsim.Option{
+		frontendsim.WithWarmupOps(o.Sim.WarmupOps),
+		frontendsim.WithMeasureOps(o.Sim.MeasureOps),
+		frontendsim.WithIntervalCycles(o.Sim.IntervalCycles),
+		frontendsim.WithIntervalSeconds(o.Sim.IntervalSeconds),
+		frontendsim.WithWorkers(o.Workers),
+	}
+	if o.Sim.Thermal != nil {
+		opts = append(opts, frontendsim.WithThermal(*o.Sim.Thermal))
+	}
+	if o.Sim.Power != nil {
+		opts = append(opts, frontendsim.WithPower(*o.Sim.Power))
+	}
+	if o.Sim.DTM != nil {
+		opts = append(opts, frontendsim.WithDTM(*o.Sim.DTM))
+	}
+	return frontendsim.New(opts...)
+}
+
+// runSuite sweeps one configuration over the selected benchmarks.
+func runSuite(ctx context.Context, eng *frontendsim.Engine, names []string, cfg core.Config) (*frontendsim.SuiteResult, error) {
+	return eng.RunSuite(ctx, frontendsim.SuiteRequest{
+		Benchmarks: names,
+		Request:    frontendsim.Request{Config: &cfg},
+	})
 }
 
 // UnitMetrics bundles the per-unit temperature triples of one run.
@@ -75,11 +111,11 @@ type UnitMetrics struct {
 	TC  metrics.Triple
 }
 
-func unitMetrics(r *sim.Result) UnitMetrics {
+func unitMetrics(r *frontendsim.Result) UnitMetrics {
 	return UnitMetrics{
-		ROB: r.Temps.Unit(floorplan.IsROB),
-		RAT: r.Temps.Unit(floorplan.IsRAT),
-		TC:  r.Temps.Unit(floorplan.IsTraceCache),
+		ROB: r.Units[frontendsim.UnitROB],
+		RAT: r.Units[frontendsim.UnitRAT],
+		TC:  r.Units[frontendsim.UnitTraceCache],
 	}
 }
 
@@ -97,22 +133,36 @@ type TechniqueRow struct {
 }
 
 // compareSuite runs baseline and technique configurations over the suite
-// and averages per-benchmark reductions and slowdowns.
-func compareSuite(base core.Config, techs []namedConfig, opt Options, progress io.Writer) []TechniqueRow {
-	profiles := opt.profiles()
-	rows := make([]TechniqueRow, len(techs))
-	for i := range rows {
-		rows[i].Name = techs[i].name
+// and averages per-benchmark reductions and slowdowns.  Every
+// configuration sweep is parallel inside the Engine; the reduction sums
+// accumulate per benchmark in suite order, keeping the figures identical
+// to the old serial loop.
+func compareSuite(ctx context.Context, base core.Config, techs []namedConfig, opt Options, progress io.Writer) ([]TechniqueRow, error) {
+	names, err := opt.suiteNames()
+	if err != nil {
+		return nil, err
 	}
-	for _, prof := range profiles {
+	eng := opt.engine()
+	if progress != nil {
+		fmt.Fprintf(progress, "  baseline")
+	}
+	baseSuite, err := runSuite(ctx, eng, names, base)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TechniqueRow, len(techs))
+	for i, tc := range techs {
+		rows[i].Name = tc.name
 		if progress != nil {
-			fmt.Fprintf(progress, "  %s", prof.Name)
+			fmt.Fprintf(progress, " | %s", tc.name)
 		}
-		baseRes := sim.Run(base, prof, opt.Sim)
-		baseUnits := unitMetrics(baseRes)
-		for i, tc := range techs {
-			res := sim.Run(tc.cfg, prof, opt.Sim)
-			u := unitMetrics(res)
+		techSuite, err := runSuite(ctx, eng, names, tc.cfg)
+		if err != nil {
+			return nil, err
+		}
+		for j := range names {
+			baseRes, res := baseSuite.Results[j], techSuite.Results[j]
+			baseUnits, u := unitMetrics(baseRes), unitMetrics(res)
 			rows[i].ROB = addTriple(rows[i].ROB, metrics.ReductionTriple(baseUnits.ROB, u.ROB))
 			rows[i].RAT = addTriple(rows[i].RAT, metrics.ReductionTriple(baseUnits.RAT, u.RAT))
 			rows[i].TC = addTriple(rows[i].TC, metrics.ReductionTriple(baseUnits.TC, u.TC))
@@ -120,7 +170,7 @@ func compareSuite(base core.Config, techs []namedConfig, opt Options, progress i
 			rows[i].TCHitLoss += baseRes.TCHitRate - res.TCHitRate
 		}
 	}
-	n := float64(len(profiles))
+	n := float64(len(names))
 	for i := range rows {
 		rows[i].ROB = scaleTriple(rows[i].ROB, 1/n)
 		rows[i].RAT = scaleTriple(rows[i].RAT, 1/n)
@@ -131,7 +181,7 @@ func compareSuite(base core.Config, techs []namedConfig, opt Options, progress i
 	if progress != nil {
 		fmt.Fprintln(progress)
 	}
-	return rows
+	return rows, nil
 }
 
 type namedConfig struct {
@@ -165,22 +215,27 @@ type Figure1Result struct {
 
 // Figure1 reproduces the peak/average comparison of the processor
 // elements on the baseline configuration.
-func Figure1(opt Options, progress io.Writer) Figure1Result {
+func Figure1(opt Options, progress io.Writer) (Figure1Result, error) {
 	res := Figure1Result{PerBench: map[string]UnitMetrics{}}
-	profiles := opt.profiles()
-	isUL2 := func(n string) bool { return n == floorplan.UL2 }
-	for _, prof := range profiles {
-		if progress != nil {
-			fmt.Fprintf(progress, "  %s", prof.Name)
-		}
-		r := sim.Run(core.DefaultConfig(), prof, opt.Sim)
-		res.Processor = addTriple(res.Processor, r.Temps.Unit(nil))
-		res.Frontend = addTriple(res.Frontend, r.Temps.Unit(floorplan.IsFrontend))
-		res.Backend = addTriple(res.Backend, r.Temps.Unit(floorplan.IsBackend))
-		res.UL2 = addTriple(res.UL2, r.Temps.Unit(isUL2))
-		res.PerBench[prof.Name] = unitMetrics(r)
+	names, err := opt.suiteNames()
+	if err != nil {
+		return res, err
 	}
-	n := 1 / float64(len(profiles))
+	if progress != nil {
+		fmt.Fprintf(progress, "  %s", strings.Join(names, " "))
+	}
+	suite, err := runSuite(context.Background(), opt.engine(), names, core.DefaultConfig())
+	if err != nil {
+		return res, err
+	}
+	for _, r := range suite.Results {
+		res.Processor = addTriple(res.Processor, r.Units[frontendsim.UnitProcessor])
+		res.Frontend = addTriple(res.Frontend, r.Units[frontendsim.UnitFrontend])
+		res.Backend = addTriple(res.Backend, r.Units[frontendsim.UnitBackend])
+		res.UL2 = addTriple(res.UL2, r.Units[frontendsim.UnitUL2])
+		res.PerBench[r.Benchmark] = unitMetrics(r)
+	}
+	n := 1 / float64(len(names))
 	res.Processor = scaleTriple(res.Processor, n)
 	res.Frontend = scaleTriple(res.Frontend, n)
 	res.Backend = scaleTriple(res.Backend, n)
@@ -188,7 +243,7 @@ func Figure1(opt Options, progress io.Writer) Figure1Result {
 	if progress != nil {
 		fmt.Fprintln(progress)
 	}
-	return res
+	return res, nil
 }
 
 // Print renders Figure 1 as the paper's two bar groups.
@@ -212,17 +267,17 @@ func (r Figure1Result) Print(w io.Writer) {
 // Figures 12, 13, 14
 
 // Figure12 reproduces the distributed renaming and commit evaluation.
-func Figure12(opt Options, progress io.Writer) []TechniqueRow {
+func Figure12(opt Options, progress io.Writer) ([]TechniqueRow, error) {
 	base := core.DefaultConfig()
-	return compareSuite(base, []namedConfig{
+	return compareSuite(context.Background(), base, []namedConfig{
 		{"Distributed Rename and Commit", base.WithDistributedFrontend(2)},
 	}, opt, progress)
 }
 
 // Figure13 reproduces the thermal-aware trace cache evaluation.
-func Figure13(opt Options, progress io.Writer) []TechniqueRow {
+func Figure13(opt Options, progress io.Writer) ([]TechniqueRow, error) {
 	base := core.DefaultConfig()
-	return compareSuite(base, []namedConfig{
+	return compareSuite(context.Background(), base, []namedConfig{
 		{"Address Biasing", base.WithBiasedMapping()},
 		{"Blank silicon", base.WithBlankSilicon()},
 		{"Bank Hopping", base.WithBankHopping()},
@@ -231,9 +286,9 @@ func Figure13(opt Options, progress io.Writer) []TechniqueRow {
 }
 
 // Figure14 reproduces the combined distributed frontend evaluation.
-func Figure14(opt Options, progress io.Writer) []TechniqueRow {
+func Figure14(opt Options, progress io.Writer) ([]TechniqueRow, error) {
 	base := core.DefaultConfig()
-	return compareSuite(base, []namedConfig{
+	return compareSuite(context.Background(), base, []namedConfig{
 		{"Bank Hopping + Address Biasing", base.WithBankHopping().WithBiasedMapping()},
 		{"Distributed Rename and Commit", base.WithDistributedFrontend(2)},
 		{"Distributed Rename and Commit + Bank Hopping + Address Biasing",
@@ -291,13 +346,14 @@ func Table1(w io.Writer) {
 }
 
 // SuiteNames returns the benchmark names an Options selects, sorted.
-func SuiteNames(opt Options) []string {
-	var names []string
-	for _, p := range opt.profiles() {
-		names = append(names, p.Name)
+func SuiteNames(opt Options) ([]string, error) {
+	names, err := opt.suiteNames()
+	if err != nil {
+		return nil, err
 	}
-	sort.Strings(names)
-	return names
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return sorted, nil
 }
 
 // Banner renders a section separator used by cmd/experiments.

@@ -16,7 +16,10 @@ func tinyOptions() Options {
 }
 
 func TestFigure1Shape(t *testing.T) {
-	r := Figure1(tinyOptions(), nil)
+	r, err := Figure1(tinyOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Figure 1 ordering: frontend among the hottest, UL2 the coolest.
 	if r.Frontend.AbsMax < r.Processor.AbsMax*0.9 {
 		t.Errorf("frontend peak %v far below processor peak %v", r.Frontend.AbsMax, r.Processor.AbsMax)
@@ -41,7 +44,10 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure12Shape(t *testing.T) {
-	rows := Figure12(tinyOptions(), nil)
+	rows, err := Figure12(tinyOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 1 {
 		t.Fatalf("Figure 12 rows = %d", len(rows))
 	}
@@ -63,7 +69,10 @@ func TestFigure12Shape(t *testing.T) {
 }
 
 func TestFigure13Shape(t *testing.T) {
-	rows := Figure13(tinyOptions(), nil)
+	rows, err := Figure13(tinyOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("Figure 13 rows = %d", len(rows))
 	}
@@ -104,7 +113,10 @@ func TestFigure13Shape(t *testing.T) {
 }
 
 func TestFigure14Shape(t *testing.T) {
-	rows := Figure14(tinyOptions(), nil)
+	rows, err := Figure14(tinyOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("Figure 14 rows = %d", len(rows))
 	}
@@ -151,19 +163,29 @@ func TestTable1Contents(t *testing.T) {
 }
 
 func TestSuiteSelection(t *testing.T) {
-	if n := len(SuiteNames(DefaultOptions())); n != 26 {
-		t.Errorf("full suite = %d benchmarks, want 26", n)
+	full, err := SuiteNames(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if n := len(SuiteNames(QuickOptions())); n != 6 {
-		t.Errorf("quick suite = %d", n)
+	if len(full) != 26 {
+		t.Errorf("full suite = %d benchmarks, want 26", len(full))
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown benchmark did not panic")
-		}
-	}()
+	quick, err := SuiteNames(QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quick) != 6 {
+		t.Errorf("quick suite = %d", len(quick))
+	}
+	// An unknown benchmark used to panic deep inside profiles(); it now
+	// surfaces as an error through the frontendsim request validation.
 	bad := Options{Benchmarks: []string{"nosuch"}}
-	bad.profiles()
+	if _, err := SuiteNames(bad); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("unknown benchmark error = %v, want it to name the benchmark", err)
+	}
+	if _, err := Figure12(bad, nil); err == nil {
+		t.Error("Figure12 with unknown benchmark did not error")
+	}
 }
 
 func TestBanner(t *testing.T) {

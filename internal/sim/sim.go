@@ -89,8 +89,49 @@ func (r *Result) IPC() float64 {
 	return float64(r.MeasOps) / float64(r.MeasCycles)
 }
 
-// Run simulates one configuration on one benchmark profile.
+// Interval is the per-interval snapshot handed to a Hook at the end of
+// every measured interval, after the thermal step and the end-of-interval
+// reconfiguration (bank hop / mapping re-bias / DTM update) have run.
+type Interval struct {
+	// Index counts measured intervals from 0.
+	Index int
+	// DeltaCycles/DeltaOps are the cycles and committed micro-ops of this
+	// interval alone; Cycles/Ops are cumulative over the measured phase.
+	DeltaCycles uint64
+	DeltaOps    uint64
+	Cycles      uint64
+	Ops         uint64
+	// Temps are the per-block temperatures (°C) after the thermal step;
+	// Power is the per-block dynamic+leakage power (W) fed to it.  Both
+	// are copies owned by the hook.
+	Temps []float64
+	Power []float64
+	// Hops is the cumulative trace-cache bank-hop count.
+	Hops uint64
+	// DutyNum/DutyDen is the fetch duty cycle set by the DTM controller
+	// for the next interval (DutyDen == 0 when DTM is disabled), and
+	// Throttled reports whether the controller is currently engaged.
+	DutyNum   int
+	DutyDen   int
+	Throttled bool
+}
+
+// Hook observes each measured interval.  Returning a non-nil error aborts
+// the run: the partially filled Result and the error are returned to the
+// caller.  This is the primitive the public pkg/frontendsim Engine builds
+// its context cancellation and streaming observers on.
+type Hook func(Interval) error
+
+// Run simulates one configuration on one benchmark profile.  It is a thin
+// adapter over RunHooked with no hook installed (a nil hook never aborts).
 func Run(cfg core.Config, prof workload.Profile, opt Options) *Result {
+	res, _ := RunHooked(cfg, prof, opt, nil)
+	return res
+}
+
+// RunHooked simulates one configuration on one benchmark profile, calling
+// hook (when non-nil) at the end of every measured interval.
+func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (*Result, error) {
 	if opt.IntervalCycles == 0 {
 		opt = DefaultOptions()
 	}
@@ -161,6 +202,25 @@ func Run(cfg core.Config, prof workload.Profile, opt Options) *Result {
 	prev := proc.Activity()
 	measStartCycles := proc.Cycle()
 	measStartOps := proc.Stats.Committed
+	finalize := func() {
+		if intervals > 0 {
+			for i := range avgPower {
+				avgPower[i] /= float64(intervals)
+			}
+		}
+		res.Stats = proc.Stats
+		res.MeasCycles = proc.Cycle() - measStartCycles
+		res.MeasOps = proc.Stats.Committed - measStartOps
+		res.Temps = series
+		res.AvgPower = avgPower
+		res.TCHitRate = proc.TCHitRate()
+		res.TCHops = proc.TraceCache().Stats.Hops
+		if controller != nil {
+			res.DTMEngagements = controller.Engagements
+			res.DTMThrottled = controller.ThrottledSteps
+			res.DTMMinDuty = controller.MinDuty
+		}
+	}
 	for !proc.Done() {
 		proc.RunCycles(opt.IntervalCycles)
 		cur := proc.Activity()
@@ -185,6 +245,8 @@ func Run(cfg core.Config, prof workload.Profile, opt Options) *Result {
 		// End-of-interval reconfiguration: hop the gated bank and/or
 		// re-bias the mapping from the per-bank sensor temperatures.
 		proc.TraceCache().Reconfigure(bankTemps(fp, temps, cfg.TC.Banks))
+		var dutyNum, dutyDen int
+		var throttled bool
 		if controller != nil {
 			peak := temps[0]
 			for _, tv := range temps {
@@ -192,28 +254,32 @@ func Run(cfg core.Config, prof workload.Profile, opt Options) *Result {
 					peak = tv
 				}
 			}
-			num, den := controller.Update(peak)
-			proc.SetFetchGate(num, den)
+			dutyNum, dutyDen = controller.Update(peak)
+			proc.SetFetchGate(dutyNum, dutyDen)
+			throttled = controller.Throttled()
+		}
+		if hook != nil {
+			iv := Interval{
+				Index:       intervals - 1,
+				DeltaCycles: delta.Cycles,
+				DeltaOps:    delta.Committed,
+				Cycles:      proc.Cycle() - measStartCycles,
+				Ops:         proc.Stats.Committed - measStartOps,
+				Temps:       append([]float64(nil), temps...),
+				Power:       append([]float64(nil), p...),
+				Hops:        proc.TraceCache().Stats.Hops,
+				DutyNum:     dutyNum,
+				DutyDen:     dutyDen,
+				Throttled:   throttled,
+			}
+			if err := hook(iv); err != nil {
+				finalize()
+				return res, err
+			}
 		}
 	}
-	if intervals > 0 {
-		for i := range avgPower {
-			avgPower[i] /= float64(intervals)
-		}
-	}
-	res.Stats = proc.Stats
-	res.MeasCycles = proc.Cycle() - measStartCycles
-	res.MeasOps = proc.Stats.Committed - measStartOps
-	res.Temps = series
-	res.AvgPower = avgPower
-	res.TCHitRate = proc.TCHitRate()
-	res.TCHops = proc.TraceCache().Stats.Hops
-	if controller != nil {
-		res.DTMEngagements = controller.Engagements
-		res.DTMThrottled = controller.ThrottledSteps
-		res.DTMMinDuty = controller.MinDuty
-	}
-	return res
+	finalize()
+	return res, nil
 }
 
 // converge iterates steady state <-> leakage until the temperatures

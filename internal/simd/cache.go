@@ -1,0 +1,87 @@
+// Package simd implements the HTTP simulation service behind cmd/simd: a
+// thin request/response frontend over the frontendsim Engine with an
+// in-memory LRU response cache keyed on the canonical request hash
+// (Thanos query-frontend style: the cache identifies the response, not
+// the request spelling, so `{"benchmark":"gzip","frontends":2}` and the
+// equivalent fully spelled-out config hit the same entry).
+package simd
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a bounded, concurrency-safe LRU byte cache.
+type lruCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits   uint64
+	misses uint64
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+// newLRUCache builds a cache holding up to capacity responses;
+// capacity < 1 disables caching (every Get misses, Add is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:     capacity,
+		entries: map[string]*list.Element{},
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached response and marks it most recently used.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add stores a response, evicting the least recently used entry when the
+// cache is full.
+func (c *lruCache) Add(key string, val []byte) {
+	if c.cap < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+}
+
+// Len returns the number of cached responses.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *lruCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

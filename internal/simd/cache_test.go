@@ -1,0 +1,74 @@
+package simd
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("1"))
+	c.Add("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	// a is now most recent; adding c evicts b.
+	c.Add("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b not evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Error("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "3" {
+		t.Error("c lost")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("1"))
+	c.Add("a", []byte("2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after double add", c.Len())
+	}
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Errorf("a = %q, want updated value", v)
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	c := newLRUCache(4)
+	c.Add("a", []byte("1"))
+	c.Get("a")
+	c.Get("a")
+	c.Get("missing")
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 2/1", hits, misses)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(0)
+	c.Add("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if c.Len() != 0 {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestLRUCapacityBound(t *testing.T) {
+	c := newLRUCache(8)
+	for i := 0; i < 100; i++ {
+		c.Add(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 8 {
+		t.Errorf("len = %d, want capacity 8", c.Len())
+	}
+}

@@ -1,0 +1,216 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/pkg/frontendsim"
+)
+
+// Server is the HTTP API of the simulation service.
+//
+//	POST /v1/simulations        JSON frontendsim.Request -> JSON frontendsim.Result
+//	POST /v1/simulations/stream JSON request -> NDJSON: one interval line
+//	                            per thermal interval, then a final result line
+//	GET  /v1/benchmarks         the available benchmark profiles
+//	GET  /v1/cache/stats        response-cache counters
+//	GET  /healthz               liveness
+type Server struct {
+	eng   *frontendsim.Engine
+	cache *lruCache
+	mux   *http.ServeMux
+	// slots bounds concurrent simulations at the Engine's worker count;
+	// excess requests queue here (or give up when their context ends)
+	// instead of oversubscribing the CPU with unbounded handler
+	// goroutines.
+	slots chan struct{}
+}
+
+// NewServer builds a Server over eng with an LRU response cache of
+// cacheSize entries (cacheSize < 1 disables caching).  At most
+// eng.Workers() simulations run concurrently.
+func NewServer(eng *frontendsim.Engine, cacheSize int) *Server {
+	s := &Server{
+		eng:   eng,
+		cache: newLRUCache(cacheSize),
+		mux:   http.NewServeMux(),
+		slots: make(chan struct{}, eng.Workers()),
+	}
+	s.mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/simulations/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+// statusFor maps run errors to HTTP statuses: client cancellations map
+// to 499 (nginx convention), everything else is a bad request — the
+// engine only fails on invalid requests.
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499
+	}
+	return http.StatusBadRequest
+}
+
+// acquire claims a simulation slot, or fails when ctx ends first.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+func decodeRequest(r *http.Request) (frontendsim.Request, error) {
+	var req frontendsim.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("simd: decode request: %w", err)
+	}
+	return req, nil
+}
+
+// handleSimulate runs one simulation, serving repeats of the same
+// canonical request from the LRU cache.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := s.eng.RequestKey(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", "HIT")
+		w.Write(body)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	res, err := s.eng.Run(r.Context(), req)
+	s.release()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	body = append(body, '\n')
+	s.cache.Add(key, body)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "MISS")
+	w.Write(body)
+}
+
+// streamLine is one NDJSON line of the streaming endpoint.
+type streamLine struct {
+	Type     string                `json:"type"` // "interval" | "result" | "error"
+	Interval *frontendsim.Snapshot `json:"interval,omitempty"`
+	Result   *frontendsim.Result   `json:"result,omitempty"`
+	Error    string                `json:"error,omitempty"`
+}
+
+// handleStream runs one simulation and streams NDJSON: one line per
+// thermal interval as it is simulated, then a final result line.
+// Streamed runs bypass the response cache — the stream is the product.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	defer s.release()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	obs := frontendsim.ObserverFunc(func(snap frontendsim.Snapshot) {
+		enc.Encode(streamLine{Type: "interval", Interval: &snap})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	res, err := s.eng.RunObserved(r.Context(), req, obs)
+	if err != nil {
+		enc.Encode(streamLine{Type: "error", Error: err.Error()})
+		return
+	}
+	enc.Encode(streamLine{Type: "result", Result: res})
+}
+
+// handleBenchmarks lists the available workload profiles.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Benchmarks []string `json:"benchmarks"`
+	}{Benchmarks: frontendsim.Benchmarks()})
+}
+
+// handleCacheStats reports response-cache counters.
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses := s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Entries int    `json:"entries"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+	}{Entries: s.cache.Len(), Hits: hits, Misses: misses})
+}
+
+// Describe returns a one-line routing summary (used by cmd/simd startup
+// logging).
+func Describe() string {
+	return strings.Join([]string{
+		"POST /v1/simulations",
+		"POST /v1/simulations/stream",
+		"GET /v1/benchmarks",
+		"GET /v1/cache/stats",
+		"GET /healthz",
+	}, ", ")
+}

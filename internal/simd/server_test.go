@@ -1,0 +1,213 @@
+package simd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/pkg/frontendsim"
+)
+
+// testServer runs short simulations so the HTTP tests stay fast.
+func testServer(cacheSize int) *Server {
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(30_000),
+		frontendsim.WithMeasureOps(60_000),
+	)
+	return NewServer(eng, cacheSize)
+}
+
+func post(t *testing.T, srv http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	srv := testServer(16)
+	w := post(t, srv, "/v1/simulations", `{"benchmark":"gzip","bank_hopping":true}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	var res frontendsim.Result
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "gzip" || res.MeasCycles == 0 || res.Intervals == 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+	if !res.Config.TC.Hopping {
+		t.Error("bank_hopping toggle not applied")
+	}
+	if _, ok := res.Units[frontendsim.UnitTraceCache]; !ok {
+		t.Error("unit triples missing from response")
+	}
+}
+
+func TestSimulateCacheHitMiss(t *testing.T) {
+	srv := testServer(16)
+	first := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`)
+	if got := first.Header().Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first request X-Cache = %q, want MISS", got)
+	}
+	second := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`)
+	if got := second.Header().Get("X-Cache"); got != "HIT" {
+		t.Fatalf("identical request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("cache hit served a different body")
+	}
+
+	// An equivalent spelling — the explicit baseline config instead of no
+	// config — hits the same canonical entry.
+	cfg := core.DefaultConfig()
+	body, err := json.Marshal(frontendsim.Request{Benchmark: "gzip", Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spelled := post(t, srv, "/v1/simulations", string(body))
+	if got := spelled.Header().Get("X-Cache"); got != "HIT" {
+		t.Errorf("canonically equivalent request X-Cache = %q, want HIT", got)
+	}
+
+	// A semantically different request misses.
+	different := post(t, srv, "/v1/simulations", `{"benchmark":"gzip","frontends":2}`)
+	if got := different.Header().Get("X-Cache"); got != "MISS" {
+		t.Fatalf("differing request X-Cache = %q, want MISS", got)
+	}
+	if bytes.Equal(first.Body.Bytes(), different.Body.Bytes()) {
+		t.Error("differing request served the cached body")
+	}
+
+	stats := httptest.NewRecorder()
+	srv.ServeHTTP(stats, httptest.NewRequest(http.MethodGet, "/v1/cache/stats", nil))
+	var st struct {
+		Entries int    `json:"entries"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+	}
+	if err := json.Unmarshal(stats.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 2 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("cache stats = %+v, want 2 entries, 2 hits, 2 misses", st)
+	}
+}
+
+func TestStreamEndpoint(t *testing.T) {
+	srv := testServer(16)
+	w := post(t, srv, "/v1/simulations/stream", `{"benchmark":"gzip"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+
+	type line struct {
+		Type     string                `json:"type"`
+		Interval *frontendsim.Snapshot `json:"interval"`
+		Result   *frontendsim.Result   `json:"result"`
+		Error    string                `json:"error"`
+	}
+	var intervals int
+	var final *frontendsim.Result
+	sc := bufio.NewScanner(w.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch l.Type {
+		case "interval":
+			if l.Interval == nil || l.Interval.Interval != intervals {
+				t.Fatalf("interval line %d malformed: %+v", intervals, l.Interval)
+			}
+			intervals++
+		case "result":
+			final = l.Result
+		default:
+			t.Fatalf("unexpected line type %q (%s)", l.Type, l.Error)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if final == nil {
+		t.Fatal("stream had no final result line")
+	}
+	if intervals == 0 || intervals != final.Intervals {
+		t.Errorf("streamed %d interval lines, result reports %d intervals", intervals, final.Intervals)
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	srv := testServer(0)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/benchmarks", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var out struct {
+		Benchmarks []string `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 26 {
+		t.Errorf("%d benchmarks, want 26", len(out.Benchmarks))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := testServer(0)
+	cases := []struct {
+		name, path, body string
+		wantIn           string
+	}{
+		{"malformedJSON", "/v1/simulations", `{"benchmark":`, "decode request"},
+		{"unknownField", "/v1/simulations", `{"banchmark":"gzip"}`, "unknown field"},
+		{"unknownBench", "/v1/simulations", `{"benchmark":"nosuch"}`, "nosuch"},
+		{"invalidConfig", "/v1/simulations", `{"benchmark":"gzip","frontends":3}`, "invalid configuration"},
+		{"streamUnknownBench", "/v1/simulations/stream", `{"benchmark":"nosuch"}`, "nosuch"},
+	}
+	for _, tc := range cases {
+		w := post(t, srv, tc.path, tc.body)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, w.Code)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil {
+			t.Errorf("%s: non-JSON error body %q", tc.name, w.Body.String())
+			continue
+		}
+		if !strings.Contains(e.Error, tc.wantIn) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, e.Error, tc.wantIn)
+		}
+	}
+	// Wrong method routes to 405 via the method-qualified mux patterns.
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/simulations", nil))
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/simulations status = %d, want 405", w.Code)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(0)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Errorf("healthz status = %d", w.Code)
+	}
+}

@@ -1,0 +1,148 @@
+// Package frontendsim is the public API of the distributed-frontend
+// thermal simulator.  It wraps the internal simulation pipeline (core,
+// power, thermal, dtm) behind an Engine that supports
+//
+//   - functional-option construction (WithThermal, WithPower, WithDTM,
+//     WithIntervalCycles, ...),
+//   - context-aware runs: Run(ctx, Request) honors cancellation between
+//     thermal intervals,
+//   - streaming observation: observers receive one Snapshot per measured
+//     interval (temperatures, per-block power, incremental IPC, bank-hop
+//     and DTM state) instead of only a final Result,
+//   - JSON-(un)marshalable Request/Result types, so runs can cross a
+//     process boundary (see cmd/simd), and
+//   - RunSuite: a bounded worker pool that parallelizes a benchmark
+//     sweep with deterministic, order-independent aggregation.
+//
+// The zero-cost entry point for a single paper-style run:
+//
+//	eng := frontendsim.New()
+//	res, err := eng.Run(ctx, frontendsim.Request{Benchmark: "gzip"})
+package frontendsim
+
+import (
+	"runtime"
+
+	"repro/internal/dtm"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/thermal"
+)
+
+// Engine runs simulations.  An Engine is immutable after New and safe for
+// concurrent use by multiple goroutines.
+type Engine struct {
+	base      sim.Options
+	workers   int
+	observers []Observer
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithThermal overrides the RC thermal-model parameters.
+func WithThermal(p thermal.Params) Option {
+	return func(e *Engine) { e.base.Thermal = &p }
+}
+
+// WithPower overrides the per-event energy table.
+func WithPower(k power.Constants) Option {
+	return func(e *Engine) { e.base.Power = &k }
+}
+
+// WithDTM enables the dynamic thermal management controller (fetch
+// toggling at thermal emergencies) for every run of this Engine.
+func WithDTM(d dtm.Config) Option {
+	return func(e *Engine) { e.base.DTM = &d }
+}
+
+// WithIntervalCycles sets the default reconfiguration/thermal interval in
+// cycles (requests may override per run).
+func WithIntervalCycles(n uint64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.base.IntervalCycles = n
+		}
+	}
+}
+
+// WithIntervalSeconds sets the thermal time per interval (the paper's
+// interval is 1 ms at 10 GHz).
+func WithIntervalSeconds(sec float64) Option {
+	return func(e *Engine) {
+		if sec > 0 {
+			e.base.IntervalSeconds = sec
+		}
+	}
+}
+
+// WithWarmupOps sets the default profiling-phase length in micro-ops.
+func WithWarmupOps(n uint64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.base.WarmupOps = n
+		}
+	}
+}
+
+// WithMeasureOps sets the default measured-phase length in micro-ops.
+func WithMeasureOps(n uint64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.base.MeasureOps = n
+		}
+	}
+}
+
+// WithWorkers bounds the RunSuite worker pool.  n < 1 selects
+// runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithObserver registers an observer notified on every measured interval
+// of every run this Engine executes.
+func WithObserver(o Observer) Option {
+	return func(e *Engine) {
+		if o != nil {
+			e.observers = append(e.observers, o)
+		}
+	}
+}
+
+// New constructs an Engine.  Without options it reproduces the paper's
+// scaled defaults (sim.DefaultOptions).
+func New(opts ...Option) *Engine {
+	e := &Engine{base: sim.DefaultOptions()}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.workers < 1 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	return e
+}
+
+// Workers returns the RunSuite worker-pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// options resolves the effective sim.Options for one request: the
+// Engine's configured defaults with the request's per-run overrides
+// applied.
+func (e *Engine) options(req Request) sim.Options {
+	opt := e.base
+	if req.WarmupOps > 0 {
+		opt.WarmupOps = req.WarmupOps
+	}
+	if req.MeasureOps > 0 {
+		opt.MeasureOps = req.MeasureOps
+	}
+	if req.IntervalCycles > 0 {
+		opt.IntervalCycles = req.IntervalCycles
+	}
+	if req.DTM {
+		d := dtm.DefaultConfig()
+		opt.DTM = &d
+	}
+	return opt
+}

@@ -1,0 +1,164 @@
+package frontendsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dtm"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// Request describes one simulation: which benchmark to run and on which
+// processor configuration.  The zero value plus a Benchmark name runs the
+// paper's baseline (Table 1).  Request marshals to/from JSON, so it can
+// be posted to the cmd/simd HTTP service unchanged.
+type Request struct {
+	// Benchmark names one of the 26 SPEC2000 profiles (see Benchmarks).
+	Benchmark string `json:"benchmark"`
+
+	// Config overrides the full processor configuration when non-nil.
+	// When nil, the paper baseline (core.DefaultConfig) is used and the
+	// technique toggles below are applied on top of it.
+	Config *core.Config `json:"config,omitempty"`
+
+	// Technique toggles, mirroring the paper's evaluated configurations.
+	// They apply on top of Config (or the baseline when Config is nil).
+
+	// Frontends > 1 enables the §3.1 distributed rename and commit over
+	// that many frontend partitions (the paper evaluates 2).
+	Frontends int `json:"frontends,omitempty"`
+	// BankHopping enables the §3.2.1 rotating Vdd-gated extra bank.
+	BankHopping bool `json:"bank_hopping,omitempty"`
+	// BiasedMapping enables the §3.2.2 thermal-aware mapping function.
+	BiasedMapping bool `json:"biased_mapping,omitempty"`
+	// BlankSilicon enables the Figure 13 comparison point (one extra,
+	// statically gated bank).  Mutually exclusive with BankHopping.
+	BlankSilicon bool `json:"blank_silicon,omitempty"`
+	// DTM enables the fetch-toggling thermal-emergency controller with
+	// its default 381 K tuning for this run.
+	DTM bool `json:"dtm,omitempty"`
+
+	// Per-run overrides of the Engine's simulation lengths (0 = use the
+	// Engine default).
+	WarmupOps      uint64 `json:"warmup_ops,omitempty"`
+	MeasureOps     uint64 `json:"measure_ops,omitempty"`
+	IntervalCycles uint64 `json:"interval_cycles,omitempty"`
+}
+
+// EffectiveConfig resolves the processor configuration the request runs:
+// Config (or the baseline) with the technique toggles applied.
+func (r Request) EffectiveConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if r.Config != nil {
+		cfg = *r.Config
+	}
+	if r.Frontends > 1 {
+		cfg = cfg.WithDistributedFrontend(r.Frontends)
+	}
+	if r.BankHopping {
+		cfg = cfg.WithBankHopping()
+	}
+	if r.BiasedMapping {
+		cfg = cfg.WithBiasedMapping()
+	}
+	if r.BlankSilicon {
+		cfg = cfg.WithBlankSilicon()
+	}
+	return cfg
+}
+
+// Validate checks the request without running it.  It reports unknown
+// benchmarks (previously a panic deep inside internal/experiments),
+// contradictory technique toggles, and inconsistent processor
+// configurations.
+func (r Request) Validate() error {
+	if r.Benchmark == "" {
+		return fmt.Errorf("frontendsim: request has no benchmark (available: %s)",
+			strings.Join(workload.Names(), " "))
+	}
+	if _, ok := workload.ByName(r.Benchmark); !ok {
+		return fmt.Errorf("frontendsim: unknown benchmark %q (available: %s)",
+			r.Benchmark, strings.Join(workload.Names(), " "))
+	}
+	if r.BankHopping && r.BlankSilicon {
+		return fmt.Errorf("frontendsim: bank_hopping and blank_silicon are mutually exclusive")
+	}
+	if r.Frontends < 0 {
+		return fmt.Errorf("frontendsim: frontends must be >= 0, got %d", r.Frontends)
+	}
+	if err := r.EffectiveConfig().Validate(); err != nil {
+		return fmt.Errorf("frontendsim: invalid configuration: %w", err)
+	}
+	return nil
+}
+
+// profile resolves the workload profile; Validate must have passed.
+func (r Request) profile() workload.Profile {
+	p, _ := workload.ByName(r.Benchmark)
+	return p
+}
+
+// canonicalRequest is the fully resolved form a request hashes as: the
+// effective configuration and effective simulation lengths, independent
+// of how the caller spelled them (Config vs. toggles, engine defaults
+// vs. explicit overrides).  Two requests that would produce identical
+// results produce identical canonical forms.
+type canonicalRequest struct {
+	Benchmark       string           `json:"benchmark"`
+	Config          core.Config      `json:"config"`
+	WarmupOps       uint64           `json:"warmup_ops"`
+	MeasureOps      uint64           `json:"measure_ops"`
+	IntervalCycles  uint64           `json:"interval_cycles"`
+	IntervalSeconds float64          `json:"interval_seconds"`
+	Thermal         *thermal.Params  `json:"thermal,omitempty"`
+	Power           *power.Constants `json:"power,omitempty"`
+	DTM             *dtm.Config      `json:"dtm,omitempty"`
+}
+
+// RequestKey returns the canonical cache key of a request under this
+// Engine's defaults: a hex SHA-256 of the resolved benchmark,
+// configuration and simulation lengths (Thanos query-frontend style —
+// the key identifies the response, not the request spelling).
+func (e *Engine) RequestKey(req Request) (string, error) {
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	opt := e.options(req)
+	// The overrides hash by value, not presence: two engines (or a DTM
+	// request toggle vs. a WithDTM default) with different controller or
+	// model tunings must never share a cache entry.
+	canon := canonicalRequest{
+		Benchmark:       req.Benchmark,
+		Config:          req.EffectiveConfig(),
+		WarmupOps:       opt.WarmupOps,
+		MeasureOps:      opt.MeasureOps,
+		IntervalCycles:  opt.IntervalCycles,
+		IntervalSeconds: opt.IntervalSeconds,
+		Thermal:         opt.Thermal,
+		Power:           opt.Power,
+		DTM:             opt.DTM,
+	}
+	// encoding/json emits struct fields in declaration order, so the
+	// encoding is canonical for a fixed struct shape.
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("frontendsim: canonicalize request: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Benchmarks returns the names of all available benchmark profiles,
+// sorted.
+func Benchmarks() []string {
+	names := workload.Names()
+	sort.Strings(names)
+	return names
+}

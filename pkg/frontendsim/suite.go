@@ -1,0 +1,180 @@
+package frontendsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// SuiteRequest sweeps one configuration over a set of benchmarks.
+type SuiteRequest struct {
+	// Benchmarks selects the suite; nil runs all 26 SPEC2000 profiles.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Request is the per-run template; its Benchmark field is ignored
+	// (each suite entry substitutes its own).
+	Request Request `json:"request"`
+}
+
+// requests expands the suite into one request per benchmark, in suite
+// order.
+func (s SuiteRequest) requests() []Request {
+	names := s.Benchmarks
+	if names == nil {
+		names = Benchmarks()
+	}
+	out := make([]Request, len(names))
+	for i, n := range names {
+		r := s.Request
+		r.Benchmark = n
+		out[i] = r
+	}
+	return out
+}
+
+// Validate checks every expanded request.
+func (s SuiteRequest) Validate() error {
+	if len(s.Benchmarks) == 0 && s.Benchmarks != nil {
+		return fmt.Errorf("frontendsim: suite selects no benchmarks")
+	}
+	for _, r := range s.requests() {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SuiteAggregate summarizes a suite run.  All means are plain arithmetic
+// means over the benchmarks, accumulated in suite order regardless of
+// which worker finished first, so a parallel run aggregates bit-identical
+// to a serial one.
+type SuiteAggregate struct {
+	Benchmarks    int                       `json:"benchmarks"`
+	MeanIPC       float64                   `json:"mean_ipc"`
+	MeanTCHitRate float64                   `json:"mean_tc_hit_rate"`
+	TotalCycles   uint64                    `json:"total_cycles"`
+	TotalOps      uint64                    `json:"total_ops"`
+	TotalHops     uint64                    `json:"total_hops"`
+	Units         map[string]metrics.Triple `json:"units"`
+}
+
+// SuiteResult is the outcome of RunSuite: per-benchmark results in suite
+// order plus the deterministic aggregate.
+type SuiteResult struct {
+	Results   []*Result      `json:"results"`
+	Aggregate SuiteAggregate `json:"aggregate"`
+}
+
+// ByBenchmark returns the result for one benchmark, or nil.
+func (s *SuiteResult) ByBenchmark(name string) *Result {
+	for _, r := range s.Results {
+		if r.Benchmark == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// RunSuite runs the suite on a bounded worker pool (Engine.Workers wide)
+// and aggregates the per-benchmark results deterministically: results
+// land in a slice indexed by suite position and are folded in that order,
+// so the aggregate is byte-identical whatever the completion order — and
+// identical to a Workers==1 serial run.  The first error (including
+// context cancellation) aborts the remaining work.
+func (e *Engine) RunSuite(ctx context.Context, suite SuiteRequest) (*SuiteResult, error) {
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := suite.requests()
+	results := make([]*Result, len(reqs))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := e.Run(ctx, reqs[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := 0; i < len(reqs); i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &SuiteResult{Results: results, Aggregate: aggregate(results)}, nil
+}
+
+// aggregate folds results in slice order.
+func aggregate(results []*Result) SuiteAggregate {
+	agg := SuiteAggregate{
+		Benchmarks: len(results),
+		Units:      map[string]metrics.Triple{},
+	}
+	if len(results) == 0 {
+		return agg
+	}
+	sums := map[string]metrics.Triple{}
+	for _, r := range results {
+		agg.MeanIPC += r.IPC
+		agg.MeanTCHitRate += r.TCHitRate
+		agg.TotalCycles += r.MeasCycles
+		agg.TotalOps += r.MeasOps
+		agg.TotalHops += r.TCHops
+		for name, t := range r.Units {
+			s := sums[name]
+			s.AbsMax += t.AbsMax
+			s.Average += t.Average
+			s.AvgMax += t.AvgMax
+			sums[name] = s
+		}
+	}
+	n := float64(len(results))
+	agg.MeanIPC /= n
+	agg.MeanTCHitRate /= n
+	for name, s := range sums {
+		agg.Units[name] = metrics.Triple{
+			AbsMax:  s.AbsMax / n,
+			Average: s.Average / n,
+			AvgMax:  s.AvgMax / n,
+		}
+	}
+	return agg
+}

@@ -1,0 +1,106 @@
+package frontendsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func suiteReq() SuiteRequest {
+	return SuiteRequest{
+		Benchmarks: []string{"gzip", "mcf", "swim"},
+		Request:    Request{BankHopping: true},
+	}
+}
+
+func TestRunSuiteParallelMatchesSerial(t *testing.T) {
+	serialEng := testEngine(WithWorkers(1))
+	serial, err := serialEng.RunSuite(context.Background(), suiteReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelEng := testEngine(WithWorkers(4))
+	parallel, err := parallelEng.RunSuite(context.Background(), suiteReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serialJSON, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelJSON, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialJSON, parallelJSON) {
+		t.Fatal("parallel suite run is not byte-identical to the serial run")
+	}
+
+	if serial.Aggregate.Benchmarks != 3 {
+		t.Errorf("aggregate covers %d benchmarks", serial.Aggregate.Benchmarks)
+	}
+	if serial.Aggregate.MeanIPC <= 0 {
+		t.Error("aggregate mean IPC not positive")
+	}
+	// Results stay in suite order regardless of completion order.
+	for i, want := range []string{"gzip", "mcf", "swim"} {
+		if parallel.Results[i].Benchmark != want {
+			t.Errorf("result %d is %q, want %q", i, parallel.Results[i].Benchmark, want)
+		}
+	}
+	if parallel.ByBenchmark("mcf") != parallel.Results[1] {
+		t.Error("ByBenchmark lookup broken")
+	}
+	if parallel.ByBenchmark("nosuch") != nil {
+		t.Error("ByBenchmark returned a result for an absent benchmark")
+	}
+}
+
+func TestRunSuiteAggregateMatchesManualFold(t *testing.T) {
+	eng := testEngine(WithWorkers(2))
+	suite, err := eng.RunSuite(context.Background(), suiteReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanIPC float64
+	for _, r := range suite.Results {
+		meanIPC += r.IPC
+	}
+	meanIPC /= float64(len(suite.Results))
+	if suite.Aggregate.MeanIPC != meanIPC {
+		t.Errorf("aggregate IPC %v != manual fold %v", suite.Aggregate.MeanIPC, meanIPC)
+	}
+	procAvg := (suite.Results[0].Units[UnitProcessor].Average +
+		suite.Results[1].Units[UnitProcessor].Average +
+		suite.Results[2].Units[UnitProcessor].Average) / 3
+	if suite.Aggregate.Units[UnitProcessor].Average != procAvg {
+		t.Errorf("aggregate processor average %v != manual fold %v",
+			suite.Aggregate.Units[UnitProcessor].Average, procAvg)
+	}
+}
+
+func TestRunSuiteValidation(t *testing.T) {
+	eng := testEngine()
+	if _, err := eng.RunSuite(context.Background(), SuiteRequest{
+		Benchmarks: []string{"gzip", "nosuch"},
+	}); err == nil {
+		t.Error("suite with unknown benchmark did not error")
+	}
+	if _, err := eng.RunSuite(context.Background(), SuiteRequest{
+		Benchmarks: []string{},
+	}); err == nil {
+		t.Error("empty non-nil suite did not error")
+	}
+}
+
+func TestRunSuiteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := testEngine(WithWorkers(2))
+	if _, err := eng.RunSuite(ctx, suiteReq()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled suite err = %v, want context.Canceled", err)
+	}
+}
