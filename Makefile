@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test race bench
 
-# The full tier-1 gate: formatting, vet, build, tests.
-check: fmt vet build test
+# The full tier-1 gate: formatting, vet, build, tests (race-enabled —
+# the scheduler/simd coalescing paths are explicitly concurrent).
+check: fmt vet build race
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -17,6 +18,9 @@ build:
 
 test:
 	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x .

@@ -10,8 +10,9 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulations        JSON request -> JSON result (cached)
+//	POST /v1/simulations        JSON request -> JSON result (cached, coalesced)
 //	POST /v1/simulations/stream JSON request -> NDJSON per-interval stream
+//	POST /v1/suites             whole-suite run (single-node mode; see simsched)
 //	GET  /v1/benchmarks         available benchmark profiles
 //	GET  /v1/cache/stats        response-cache counters
 //	GET  /healthz               liveness

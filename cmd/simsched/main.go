@@ -1,0 +1,103 @@
+// Command simsched is the multi-node suite scheduler: a query-frontend
+// that shards benchmark-suite requests across a ring of simd backends by
+// consistent hashing on the canonical request key, fails over to the
+// next ring node when a backend dies, single-flights identical
+// concurrent work, and aggregates results deterministically — the
+// /v1/suites response is byte-identical to a serial in-process
+// Engine.RunSuite.
+//
+// Usage:
+//
+//	simsched -backends http://sim-1:8723,http://sim-2:8723 [-addr :8724]
+//	         [-replicas 128] [-retries -1] [-workers N] [-timeout 10m]
+//	         [-warmup N] [-measure N] [-interval N]
+//
+// The -warmup/-measure/-interval defaults must match the backends' simd
+// flags: the scheduler canonicalizes requests under its own engine
+// defaults, and matching flags keep the two tiers' cache keys aligned.
+//
+// Example:
+//
+//	simd -addr :8723 & simd -addr :8733 &
+//	simsched -backends http://localhost:8723,http://localhost:8733
+//	curl -s localhost:8724/v1/suites -d '{"benchmarks":["gzip","mcf"],"request":{"bank_hopping":true}}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/pkg/frontendsim"
+	"repro/pkg/scheduler"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8724", "listen address")
+		backends = flag.String("backends", "", "comma-separated simd base URLs (required)")
+		replicas = flag.Int("replicas", 0, "virtual ring points per backend (0 = default)")
+		retries  = flag.Int("retries", 0, "failover nodes tried after the home backend (0 = all remaining, -1 = none)")
+		workers  = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
+		warmup   = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default; match simd)")
+		measure  = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default; match simd)")
+		interval = flag.Uint64("interval", 0, "default interval cycles (0 = paper default; match simd)")
+	)
+	flag.Parse()
+
+	var nodes []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			nodes = append(nodes, strings.TrimRight(b, "/"))
+		}
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "simsched: -backends is required (comma-separated simd base URLs)")
+		os.Exit(2)
+	}
+
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(*warmup),
+		frontendsim.WithMeasureOps(*measure),
+		frontendsim.WithIntervalCycles(*interval),
+		frontendsim.WithWorkers(*workers),
+	)
+	sched, err := scheduler.New(eng, scheduler.Config{
+		Backends:   nodes,
+		Replicas:   *replicas,
+		Retries:    *retries,
+		HTTPClient: &http.Client{Timeout: *timeout},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           scheduler.NewServer(sched),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "simsched: listening on %s, %d backend(s) (%s)\n",
+		*addr, len(nodes), scheduler.Describe())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,58 +1,106 @@
-// Distributed rename & commit deep-dive: runs the §3.1 mechanism and
-// exposes the machinery the paper describes — per-partition reorder
-// buffer activity, the R/L commit walk, cross-frontend copy requests, and
-// the resulting temperature drop at ~2% slowdown.
+// Distributed deep-dive, both senses of the word: the paper's §3.1
+// distributed rename & commit frontend, run through the system's own
+// distributed serving tier — three in-process simd backends behind the
+// consistent-hashing suite scheduler (pkg/scheduler, cmd/simsched).
+//
+// The example prints the shard assignment, runs one suite centralized vs
+// distributed-frontend, and shows that the scheduler's aggregate is
+// byte-identical to a serial in-process Engine.RunSuite while spreading
+// the simulations over the backend ring.
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
+	"os"
 
-	"repro/internal/core"
-	"repro/internal/floorplan"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/internal/simd"
+	"repro/pkg/frontendsim"
+	"repro/pkg/scheduler"
 )
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
-	prof, _ := workload.ByName("gcc")
-	opt := sim.DefaultOptions()
-	opt.WarmupOps = 80_000
-	opt.MeasureOps = 200_000
-
-	base := sim.Run(core.DefaultConfig(), prof, opt)
-	dist := sim.Run(core.DefaultConfig().WithDistributedFrontend(2), prof, opt)
-
-	fmt.Println("Distributed rename and commit on gcc (paper §3.1, Figure 12)")
-	fmt.Println()
-	fmt.Printf("%-28s %12s %12s\n", "", "centralized", "distributed")
-	fmt.Printf("%-28s %12d %12d\n", "measured cycles", base.MeasCycles, dist.MeasCycles)
-	fmt.Printf("%-28s %12.3f %12.3f\n", "IPC", base.IPC(), dist.IPC())
-	fmt.Printf("%-28s %12d %12d\n", "copies", base.Stats.Copies, dist.Stats.Copies)
-	fmt.Printf("%-28s %12d %12d  (two-step §3.1.1 protocol)\n",
-		"cross-frontend copy requests", base.Stats.CrossFrontend, dist.Stats.CrossFrontend)
-	fmt.Printf("%-28s %12s %12.2f%%\n", "slowdown", "-",
-		(float64(dist.MeasCycles)/float64(base.MeasCycles)-1)*100)
-
-	fmt.Println()
-	for _, unit := range []struct {
-		name   string
-		filter func(string) bool
-	}{
-		{"Reorder buffer", floorplan.IsROB},
-		{"Rename table", floorplan.IsRAT},
-		{"Trace cache", floorplan.IsTraceCache},
-	} {
-		b := base.Temps.Unit(unit.filter)
-		d := dist.Temps.Unit(unit.filter)
-		fmt.Printf("%-15s peak rise %5.1f -> %5.1f (-%4.1f%%)   average %5.1f -> %5.1f (-%4.1f%%)\n",
-			unit.name, b.AbsMax, d.AbsMax, (b.AbsMax-d.AbsMax)/b.AbsMax*100,
-			b.Average, d.Average, (b.Average-d.Average)/b.Average*100)
+	opts := []frontendsim.Option{
+		frontendsim.WithWarmupOps(40_000),
+		frontendsim.WithMeasureOps(100_000),
 	}
 
+	// Three simd backends, in-process for the example; in production each
+	// would be its own `simd` replica (see cmd/simsched).
+	var nodes []string
+	for i := 0; i < 3; i++ {
+		srv := httptest.NewServer(simd.NewServer(frontendsim.New(opts...), 64))
+		defer srv.Close()
+		nodes = append(nodes, srv.URL)
+	}
+	eng := frontendsim.New(opts...)
+	sched, err := scheduler.New(eng, scheduler.Config{Backends: nodes})
+	if err != nil {
+		fatal(err)
+	}
+
+	suite := func(frontends int) frontendsim.SuiteRequest {
+		return frontendsim.SuiteRequest{
+			Benchmarks: []string{"gzip", "gcc", "mcf", "crafty", "parser", "swim"},
+			Request:    frontendsim.Request{Frontends: frontends},
+		}
+	}
+
+	fmt.Println("Suite sharding by canonical request key (consistent hashing):")
+	for _, bench := range suite(2).Benchmarks {
+		key, err := eng.RequestKey(frontendsim.Request{Benchmark: bench, Frontends: 2})
+		if err != nil {
+			fatal(err)
+		}
+		for i, n := range nodes {
+			if sched.Ring().Node(key) == n {
+				fmt.Printf("  %-8s -> backend %d  (key %s…)\n", bench, i, key[:12])
+			}
+		}
+	}
 	fmt.Println()
-	fmt.Println("Each frontend partition holds the rename table and reorder buffer of")
-	fmt.Println("its two backends; output registers are renamed at the (centralized)")
-	fmt.Println("steer stage from per-backend freelists, so no communication is needed")
-	fmt.Println("between the partitions' rename tables.  Commit follows the R/L chain")
-	fmt.Println("across partitions at +1 cycle latency (Figure 8).")
+
+	ctx := context.Background()
+	base, err := sched.RunSuite(ctx, suite(0))
+	if err != nil {
+		fatal(err)
+	}
+	dist, err := sched.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("Centralized vs distributed frontend (§3.1), 6-benchmark suite")
+	fmt.Printf("%-28s %12s %12s\n", "", "centralized", "distributed")
+	fmt.Printf("%-28s %12.3f %12.3f\n", "mean IPC", base.Aggregate.MeanIPC, dist.Aggregate.MeanIPC)
+	fmt.Printf("%-28s %12d %12d\n", "total cycles", base.Aggregate.TotalCycles, dist.Aggregate.TotalCycles)
+	fmt.Printf("%-28s %12s %12.2f%%\n", "slowdown", "-",
+		(float64(dist.Aggregate.TotalCycles)/float64(base.Aggregate.TotalCycles)-1)*100)
+	for _, unit := range []string{frontendsim.UnitROB, frontendsim.UnitRAT, frontendsim.UnitTraceCache} {
+		b, d := base.Aggregate.Units[unit], dist.Aggregate.Units[unit]
+		fmt.Printf("%-28s %11.1fC %11.1fC  (-%.1f%% peak rise)\n", unit+" peak rise",
+			b.AbsMax, d.AbsMax, (b.AbsMax-d.AbsMax)/b.AbsMax*100)
+	}
+	fmt.Println()
+
+	// The distributed serving tier is invisible in the numbers: the
+	// scheduler's aggregate is byte-identical to a serial in-process run.
+	serial, err := frontendsim.New(append(opts, frontendsim.WithWorkers(1))...).RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	distJSON, _ := json.Marshal(dist)
+	serialJSON, _ := json.Marshal(serial)
+	fmt.Printf("scheduler result == serial Engine.RunSuite: %v\n", bytes.Equal(distJSON, serialJSON))
+	st := sched.Stats()
+	fmt.Printf("scheduler stats: %d dispatched, %d retried, %d coalesced\n",
+		st.Dispatched, st.Retried, st.Coalesced)
 }

@@ -51,6 +51,19 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
+// peek returns the cached response without touching the hit/miss
+// counters or the recency order — for internal re-checks that should be
+// invisible in /v1/cache/stats.
+func (c *lruCache) peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*lruEntry).val, true
+}
+
 // Add stores a response, evicting the least recently used entry when the
 // cache is full.
 func (c *lruCache) Add(key string, val []byte) {

@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/singleflight"
 	"repro/pkg/frontendsim"
 )
 
@@ -16,6 +18,7 @@ import (
 //	POST /v1/simulations        JSON frontendsim.Request -> JSON frontendsim.Result
 //	POST /v1/simulations/stream JSON request -> NDJSON: one interval line
 //	                            per thermal interval, then a final result line
+//	POST /v1/suites             JSON frontendsim.SuiteRequest -> JSON SuiteResult
 //	GET  /v1/benchmarks         the available benchmark profiles
 //	GET  /v1/cache/stats        response-cache counters
 //	GET  /healthz               liveness
@@ -28,6 +31,15 @@ type Server struct {
 	// instead of oversubscribing the CPU with unbounded handler
 	// goroutines.
 	slots chan struct{}
+	// flight single-flights concurrent identical requests on the
+	// canonical key: the simulation runs once, every concurrent caller
+	// shares the marshalled response.  Suite entries route through the
+	// same group, so a suite entry and a plain simulation of the same
+	// request also coalesce.
+	flight singleflight.Group[[]byte]
+	// coalesced counts requests served by joining another caller's
+	// in-flight simulation (reported by /v1/cache/stats).
+	coalesced atomic.Uint64
 }
 
 // NewServer builds a Server over eng with an LRU response cache of
@@ -42,6 +54,7 @@ func NewServer(eng *frontendsim.Engine, cacheSize int) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/simulations/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/suites", s.handleSuite)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -99,8 +112,51 @@ func decodeRequest(r *http.Request) (frontendsim.Request, error) {
 	return req, nil
 }
 
+// simulate produces the marshalled response for one canonical request:
+// from the LRU cache when present, by joining an identical in-flight
+// simulation when one exists, and by running the simulation otherwise.
+// source reports which path served the body: "HIT", "COALESCED" or
+// "MISS".
+func (s *Server) simulate(ctx context.Context, key string, req frontendsim.Request) (body []byte, source string, err error) {
+	if body, ok := s.cache.Get(key); ok {
+		return body, "HIT", nil
+	}
+	body, err, shared := s.flight.Do(ctx, key, func(runCtx context.Context) ([]byte, error) {
+		// Re-check the cache: a caller that raced a just-completed
+		// identical run starts a fresh execution (the flight entry is
+		// gone) but its response is already cached.
+		if body, ok := s.cache.peek(key); ok {
+			return body, nil
+		}
+		if err := s.acquire(runCtx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		res, err := s.eng.Run(runCtx, req)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, '\n')
+		s.cache.Add(key, b)
+		return b, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if shared {
+		s.coalesced.Add(1)
+		return body, "COALESCED", nil
+	}
+	return body, "MISS", nil
+}
+
 // handleSimulate runs one simulation, serving repeats of the same
-// canonical request from the LRU cache.
+// canonical request from the LRU cache and single-flighting concurrent
+// identical requests onto one engine run.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	req, err := decodeRequest(r)
 	if err != nil {
@@ -112,32 +168,54 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if body, ok := s.cache.Get(key); ok {
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Cache", "HIT")
-		w.Write(body)
-		return
-	}
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
-	res, err := s.eng.Run(r.Context(), req)
-	s.release()
+	body, source, err := s.simulate(r.Context(), key, req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	body, err := json.Marshal(res)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
-	}
-	body = append(body, '\n')
-	s.cache.Add(key, body)
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", "MISS")
+	w.Header().Set("X-Cache", source)
 	w.Write(body)
+}
+
+// dispatch adapts simulate to the frontendsim.Dispatcher signature for
+// suite runs: each suite shard flows through the same cache and
+// single-flight group as a plain simulation, so suites and concurrent
+// single requests de-duplicate against each other too.
+func (s *Server) dispatch(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+	key, err := s.eng.RequestKey(req)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := s.simulate(ctx, key, req)
+	if err != nil {
+		return nil, err
+	}
+	var res frontendsim.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return nil, fmt.Errorf("simd: decode cached result: %w", err)
+	}
+	return &res, nil
+}
+
+// handleSuite runs a whole benchmark suite in-process (single-node mode
+// of the /v1/suites API that cmd/simsched serves across a backend ring)
+// and responds with the deterministic frontendsim.SuiteResult.
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var suite frontendsim.SuiteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&suite); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("simd: decode suite request: %w", err))
+		return
+	}
+	res, err := s.eng.RunSuiteVia(r.Context(), suite, s.dispatch)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
 }
 
 // streamLine is one NDJSON line of the streaming endpoint.
@@ -197,10 +275,11 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	hits, misses := s.cache.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
-		Entries int    `json:"entries"`
-		Hits    uint64 `json:"hits"`
-		Misses  uint64 `json:"misses"`
-	}{Entries: s.cache.Len(), Hits: hits, Misses: misses})
+		Entries   int    `json:"entries"`
+		Hits      uint64 `json:"hits"`
+		Misses    uint64 `json:"misses"`
+		Coalesced uint64 `json:"coalesced"`
+	}{Entries: s.cache.Len(), Hits: hits, Misses: misses, Coalesced: s.coalesced.Load()})
 }
 
 // Describe returns a one-line routing summary (used by cmd/simd startup
@@ -209,6 +288,7 @@ func Describe() string {
 	return strings.Join([]string{
 		"POST /v1/simulations",
 		"POST /v1/simulations/stream",
+		"POST /v1/suites",
 		"GET /v1/benchmarks",
 		"GET /v1/cache/stats",
 		"GET /healthz",

@@ -1,0 +1,115 @@
+// Package singleflight coalesces concurrent executions that share a key:
+// the first caller runs the function, every caller that arrives while it
+// is in flight waits for the same answer, and identical work is never
+// done twice at the same time (golang.org/x/sync/singleflight style, but
+// context-aware on both sides).
+//
+// Two context properties distinguish this implementation:
+//
+//   - Waiting is cancellable per caller: a caller whose context ends
+//     stops waiting immediately and gets its context's error, while the
+//     shared execution keeps running for the remaining waiters.
+//   - The execution context is reference-counted: fn receives a context
+//     that is detached from any single caller and is cancelled only when
+//     the last interested caller has gone away, so one client hanging up
+//     never aborts work that others still want — but fully abandoned work
+//     is cancelled instead of burning CPU for nobody.
+package singleflight
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight (or just-finished) execution.
+type call[V any] struct {
+	cancel  context.CancelFunc
+	waiters int           // callers still interested; guarded by Group.mu
+	done    chan struct{} // closed after val/err are set
+	val     V
+	err     error
+}
+
+// Group coalesces concurrent Do calls with the same key.  The zero value
+// is ready to use.  A Group must not be copied after first use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	calls map[string]*call[V]
+}
+
+// Do executes fn, coalescing with any in-flight execution under the same
+// key: concurrent callers share one execution and receive the same value
+// and error.  shared reports whether this caller joined an execution
+// started by another caller.
+//
+// fn runs in its own goroutine under a context that is cancelled only
+// when every caller waiting on it has gone away; it is NOT a child of
+// ctx, so one caller's cancellation never aborts a shared execution.  If
+// ctx ends while waiting, Do returns ctx's error immediately (the
+// execution continues for any remaining waiters, and its eventual result
+// is discarded if there are none).
+func (g *Group[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*call[V]{}
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		v, err = g.wait(ctx, key, c)
+		return v, err, true
+	}
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &call[V]{cancel: cancel, waiters: 1, done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		val, ferr := fn(runCtx)
+		g.mu.Lock()
+		c.val, c.err = val, ferr
+		// Delete before closing done: callers that arrive after the
+		// result is published must start a fresh execution, never read a
+		// completed one (the response cache, if any, is the caller's
+		// concern).
+		if g.calls[key] == c {
+			delete(g.calls, key)
+		}
+		g.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	v, err = g.wait(ctx, key, c)
+	return v, err, false
+}
+
+// wait blocks until the call completes or ctx ends, whichever is first.
+func (g *Group[V]) wait(ctx context.Context, key string, c *call[V]) (V, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			// Nobody wants the answer any more: abort the execution and
+			// unlink the call so late arrivals start fresh rather than
+			// attaching to a dying one.
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// InFlight reports the number of executions currently in flight (for
+// introspection and tests).
+func (g *Group[V]) InFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.calls)
+}

@@ -1,0 +1,210 @@
+package singleflight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoCoalescesConcurrentCallers(t *testing.T) {
+	var g Group[int]
+	var executions atomic.Int64
+	gate := make(chan struct{})
+	joined := make(chan struct{})
+
+	const callers = 8
+	var sharedCount atomic.Int64
+	results := make([]int, callers)
+	var wg sync.WaitGroup
+
+	// The leader blocks inside fn until every other caller has joined, so
+	// all of them must coalesce onto the single execution.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			executions.Add(1)
+			<-gate
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0] = v
+	}()
+
+	// Wait for the leader's call to be registered.
+	for g.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			joined <- struct{}{}
+			v, err, shared := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				executions.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	for i := 1; i < callers; i++ {
+		<-joined
+	}
+	// Joined-channel sends happen just before Do; give the goroutines a
+	// beat to actually block in Do, then release the leader.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Errorf("fn executed %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, v)
+		}
+	}
+	if sharedCount.Load() == 0 {
+		t.Error("no caller reported shared=true")
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("%d calls still in flight after completion", g.InFlight())
+	}
+}
+
+func TestDoDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[string]
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			v, err, _ := g.Do(context.Background(), key, func(context.Context) (string, error) {
+				return key, nil
+			})
+			if err != nil || v != key {
+				t.Errorf("key %s: got (%q, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestDoSequentialCallsReExecute(t *testing.T) {
+	var g Group[int]
+	var executions atomic.Int64
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return int(executions.Add(1)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shared {
+			t.Errorf("call %d reported shared", i)
+		}
+		if v != i+1 {
+			t.Errorf("call %d got %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	_, err, _ := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestWaiterCancellationLeavesExecutionRunning(t *testing.T) {
+	var g Group[int]
+	gate := make(chan struct{})
+	fnCtxErr := make(chan error, 1)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+			<-gate
+			fnCtxErr <- ctx.Err()
+			return 7, nil
+		})
+		if err != nil || v != 7 {
+			t.Errorf("patient caller got (%d, %v), want (7, nil)", v, err)
+		}
+	}()
+	for g.InFlight() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second caller joins, then hangs up: it must return immediately
+	// with its own context error while the execution keeps running.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	_, err, shared := g.Do(ctx, "k", func(context.Context) (int, error) {
+		t.Error("joining caller executed fn itself")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	if !shared {
+		t.Error("second caller did not join the in-flight execution")
+	}
+
+	close(gate)
+	<-done
+	if err := <-fnCtxErr; err != nil {
+		t.Errorf("execution context was cancelled (%v) although a waiter remained", err)
+	}
+}
+
+func TestAllWaitersGoneCancelsExecution(t *testing.T) {
+	var g Group[int]
+	started := make(chan struct{})
+	ctxDone := make(chan struct{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		g.Do(ctx, "k", func(runCtx context.Context) (int, error) {
+			close(started)
+			<-runCtx.Done()
+			close(ctxDone)
+			return 0, runCtx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case <-ctxDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("execution context not cancelled after the last waiter left")
+	}
+	// The abandoned call is unlinked, so a fresh caller re-executes.
+	v, err, shared := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+		return 9, nil
+	})
+	if err != nil || v != 9 || shared {
+		t.Errorf("post-abandon call got (%d, %v, shared=%v), want (9, nil, false)", v, err, shared)
+	}
+}

@@ -1,0 +1,97 @@
+package frontendsim
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunSuiteDedupsDuplicateKeys asserts a suite containing the same
+// canonical request several times runs the engine once per unique key
+// and shares the result across the duplicate positions.
+func TestRunSuiteDedupsDuplicateKeys(t *testing.T) {
+	var runs atomic.Int64
+	eng := testEngine(
+		WithWorkers(4),
+		WithObserver(ObserverFunc(func(s Snapshot) {
+			if s.Interval == 0 {
+				runs.Add(1)
+			}
+		})),
+	)
+	res, err := eng.RunSuite(context.Background(), SuiteRequest{
+		Benchmarks: []string{"gzip", "gzip", "mcf", "gzip"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := runs.Load(); n != 2 {
+		t.Errorf("suite with 2 unique keys ran %d simulations, want 2", n)
+	}
+	if len(res.Results) != 4 || res.Aggregate.Benchmarks != 4 {
+		t.Fatalf("suite shape %d results / %d aggregate benchmarks, want 4/4",
+			len(res.Results), res.Aggregate.Benchmarks)
+	}
+	if res.Results[0] != res.Results[1] || res.Results[1] != res.Results[3] {
+		t.Error("duplicate positions do not share one result")
+	}
+	if res.Results[2].Benchmark != "mcf" {
+		t.Errorf("position 2 is %q, want mcf", res.Results[2].Benchmark)
+	}
+}
+
+// TestRunSuiteViaCustomDispatcher drives the suite machinery with a fake
+// dispatcher: no simulation, pure orchestration — ordering, per-key
+// de-duplication and concurrency are all observable.
+func TestRunSuiteViaCustomDispatcher(t *testing.T) {
+	eng := testEngine(WithWorkers(4))
+	var dispatches atomic.Int64
+	dispatch := func(ctx context.Context, req Request) (*Result, error) {
+		dispatches.Add(1)
+		return &Result{Benchmark: req.Benchmark, IPC: float64(len(req.Benchmark))}, nil
+	}
+	res, err := eng.RunSuiteVia(context.Background(), SuiteRequest{
+		Benchmarks: []string{"swim", "gzip", "swim", "mcf"},
+	}, dispatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := dispatches.Load(); n != 3 {
+		t.Errorf("%d dispatches for 3 unique keys, want 3", n)
+	}
+	for i, want := range []string{"swim", "gzip", "swim", "mcf"} {
+		if res.Results[i].Benchmark != want {
+			t.Errorf("result %d is %q, want %q", i, res.Results[i].Benchmark, want)
+		}
+	}
+	// Aggregate folds per suite position: swim counts twice.
+	wantMean := (4.0 + 4.0 + 4.0 + 3.0) / 4
+	if res.Aggregate.MeanIPC != wantMean {
+		t.Errorf("aggregate mean IPC %v, want %v", res.Aggregate.MeanIPC, wantMean)
+	}
+}
+
+// TestRunSuiteViaDispatchErrorAborts asserts the first dispatcher error
+// cancels the remaining work and surfaces to the caller.
+func TestRunSuiteViaDispatchErrorAborts(t *testing.T) {
+	eng := testEngine(WithWorkers(2))
+	boom := errors.New("backend exploded")
+	var after atomic.Int64
+	dispatch := func(ctx context.Context, req Request) (*Result, error) {
+		if req.Benchmark == "gzip" {
+			return nil, boom
+		}
+		if err := ctx.Err(); err != nil {
+			after.Add(1)
+			return nil, err
+		}
+		return &Result{Benchmark: req.Benchmark}, nil
+	}
+	_, err := eng.RunSuiteVia(context.Background(), SuiteRequest{
+		Benchmarks: []string{"gzip", "mcf", "swim", "art", "vpr"},
+	}, dispatch)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the dispatcher's error", err)
+	}
+}

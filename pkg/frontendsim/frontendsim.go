@@ -12,7 +12,11 @@
 //   - JSON-(un)marshalable Request/Result types, so runs can cross a
 //     process boundary (see cmd/simd), and
 //   - RunSuite: a bounded worker pool that parallelizes a benchmark
-//     sweep with deterministic, order-independent aggregation.
+//     sweep with deterministic, order-independent aggregation, de-duped
+//     on the canonical request key, and
+//   - RunSuiteVia: the same suite machinery over a caller-supplied
+//     Dispatcher, so a suite can run against remote backends (see
+//     pkg/scheduler) with an aggregate byte-identical to a local run.
 //
 // The zero-cost entry point for a single paper-style run:
 //

@@ -17,9 +17,9 @@ type SuiteRequest struct {
 	Request Request `json:"request"`
 }
 
-// requests expands the suite into one request per benchmark, in suite
+// Requests expands the suite into one request per benchmark, in suite
 // order.
-func (s SuiteRequest) requests() []Request {
+func (s SuiteRequest) Requests() []Request {
 	names := s.Benchmarks
 	if names == nil {
 		names = Benchmarks()
@@ -38,7 +38,7 @@ func (s SuiteRequest) Validate() error {
 	if len(s.Benchmarks) == 0 && s.Benchmarks != nil {
 		return fmt.Errorf("frontendsim: suite selects no benchmarks")
 	}
-	for _, r := range s.requests() {
+	for _, r := range s.Requests() {
 		if err := r.Validate(); err != nil {
 			return err
 		}
@@ -77,25 +77,67 @@ func (s *SuiteResult) ByBenchmark(name string) *Result {
 	return nil
 }
 
-// RunSuite runs the suite on a bounded worker pool (Engine.Workers wide)
-// and aggregates the per-benchmark results deterministically: results
-// land in a slice indexed by suite position and are folded in that order,
-// so the aggregate is byte-identical whatever the completion order — and
-// identical to a Workers==1 serial run.  The first error (including
-// context cancellation) aborts the remaining work.
+// Dispatcher executes one per-benchmark request of a suite.  Engine.Run
+// is the in-process dispatcher; pkg/scheduler supplies one that ships the
+// request to a remote simd backend.  A Dispatcher must be safe for
+// concurrent use and should honor ctx cancellation.
+type Dispatcher func(ctx context.Context, req Request) (*Result, error)
+
+// RunSuite runs the suite in-process: RunSuiteVia with Engine.Run as the
+// dispatcher.
 func (e *Engine) RunSuite(ctx context.Context, suite SuiteRequest) (*SuiteResult, error) {
+	return e.RunSuiteVia(ctx, suite, e.Run)
+}
+
+// shardByKey groups the expanded requests by canonical key in
+// first-appearance order, so duplicate suite entries dispatch exactly
+// once (the suite-level half of the single-flight guarantee; the
+// concurrent half lives in internal/simd and pkg/scheduler).  Each shard
+// lists the suite positions sharing one key, ascending; the first
+// position's request is the one dispatched.
+func (e *Engine) shardByKey(reqs []Request) ([][]int, error) {
+	shards := make([][]int, 0, len(reqs))
+	index := make(map[string]int, len(reqs))
+	for i, r := range reqs {
+		key, err := e.RequestKey(r)
+		if err != nil {
+			return nil, err
+		}
+		if at, ok := index[key]; ok {
+			shards[at] = append(shards[at], i)
+			continue
+		}
+		index[key] = len(shards)
+		shards = append(shards, []int{i})
+	}
+	return shards, nil
+}
+
+// RunSuiteVia runs the suite through dispatch on a bounded worker pool
+// (Engine.Workers wide) and aggregates the per-benchmark results
+// deterministically: results land in a slice indexed by suite position
+// and are folded in that order, so the aggregate is byte-identical
+// whatever the completion order — and identical to a Workers==1 serial
+// run.  Suite entries with the same canonical RequestKey are dispatched
+// once and share the result.  The first error (including context
+// cancellation) aborts the remaining work.
+func (e *Engine) RunSuiteVia(ctx context.Context, suite SuiteRequest, dispatch Dispatcher) (*SuiteResult, error) {
 	if err := suite.Validate(); err != nil {
 		return nil, err
 	}
-	reqs := suite.requests()
+	reqs := suite.Requests()
+	shards, err := e.shardByKey(reqs)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]*Result, len(reqs))
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	workers := e.workers
-	if workers > len(reqs) {
-		workers = len(reqs)
+	if workers > len(shards) {
+		workers = len(shards)
 	}
 	jobs := make(chan int)
 	var (
@@ -114,17 +156,20 @@ func (e *Engine) RunSuite(ctx context.Context, suite SuiteRequest) (*SuiteResult
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := e.Run(ctx, reqs[i])
+				positions := shards[i]
+				res, err := dispatch(ctx, reqs[positions[0]])
 				if err != nil {
 					fail(err)
 					return
 				}
-				results[i] = res
+				for _, p := range positions {
+					results[p] = res
+				}
 			}
 		}()
 	}
 feed:
-	for i := 0; i < len(reqs); i++ {
+	for i := 0; i < len(shards); i++ {
 		select {
 		case jobs <- i:
 		case <-ctx.Done():

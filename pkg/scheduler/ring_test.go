@@ -1,0 +1,108 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+	r, err := NewRing([]string{"b", "a", "b"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Nodes() = %v, want [a b]", got)
+	}
+}
+
+func TestRingAssignmentIsOrderIndependent(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Node(key) != b.Node(key) {
+			t.Fatalf("key %q: assignment differs across construction orders (%s vs %s)",
+				key, a.Node(key), b.Node(key))
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 10_000
+	for i := 0; i < keys; i++ {
+		counts[r.Node(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, n := range r.Nodes() {
+		if c := counts[n]; c < keys/10 {
+			t.Errorf("node %s owns only %d/%d keys — ring badly unbalanced", n, c, keys)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyLostKeys(t *testing.T) {
+	full, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"n1", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before := full.Node(key)
+		after := reduced.Node(key)
+		// Consistent hashing: only keys whose home was the removed node
+		// may move.
+		if before != "n3" && after != before {
+			t.Fatalf("key %q moved from surviving node %s to %s when n3 left", key, before, after)
+		}
+		// Keys that lose their home land on their next ring node.
+		if before == "n3" {
+			if want := full.Sequence(key)[1]; after != want {
+				t.Fatalf("key %q re-homed to %s, want next ring node %s", key, after, want)
+			}
+		}
+	}
+}
+
+func TestRingSequenceCoversAllNodesOnce(t *testing.T) {
+	r, err := NewRing([]string{"n1", "n2", "n3", "n4"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		seq := r.Sequence(key)
+		if len(seq) != 4 {
+			t.Fatalf("key %q: sequence %v does not cover the ring", key, seq)
+		}
+		if seq[0] != r.Node(key) {
+			t.Fatalf("key %q: sequence head %s != home node %s", key, seq[0], r.Node(key))
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %q: node %s repeats in sequence %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+	}
+}

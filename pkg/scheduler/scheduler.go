@@ -1,0 +1,175 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/singleflight"
+	"repro/pkg/frontendsim"
+)
+
+// Config configures a Scheduler.
+type Config struct {
+	// Backends are the simd base URLs forming the ring (e.g.
+	// "http://sim-1:8723").  At least one is required.
+	Backends []string
+	// Replicas is the virtual-point count per backend (< 1 selects
+	// DefaultReplicas).
+	Replicas int
+	// Retries bounds how many additional ring nodes are tried after the
+	// home node fails.  0 (the zero value) selects every remaining node;
+	// a negative value disables failover entirely.
+	Retries int
+	// HTTPClient overrides the backend HTTP client (nil selects
+	// http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// Stats are cumulative dispatch counters.
+type Stats struct {
+	// Dispatched counts simulations shipped to a backend (after suite
+	// de-duplication and single-flight coalescing).
+	Dispatched uint64 `json:"dispatched"`
+	// Retried counts dispatch attempts that failed over to another ring
+	// node after a backend failure.
+	Retried uint64 `json:"retried"`
+	// Coalesced counts dispatches served by joining an identical
+	// in-flight dispatch instead of contacting a backend.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// Scheduler is the multi-node suite frontend: it expands a suite into
+// per-benchmark requests, shards them across the backend ring by
+// canonical RequestKey, retries failed dispatches on the next ring node,
+// and aggregates results in deterministic suite order — byte-identical
+// to a serial in-process Engine.RunSuite of the same suite.
+//
+// De-duplication holds at every tier: duplicate keys within one suite
+// dispatch once (frontendsim suite sharding), identical concurrent
+// dispatches across suites single-flight into one backend call, and the
+// backend itself single-flights and caches on the same canonical key.
+//
+// A Scheduler is safe for concurrent use.
+type Scheduler struct {
+	eng     *frontendsim.Engine
+	ring    *Ring
+	client  *Client
+	retries int
+	flight  singleflight.Group[*frontendsim.Result]
+
+	dispatched atomic.Uint64
+	retried    atomic.Uint64
+	coalesced  atomic.Uint64
+}
+
+// New builds a Scheduler over eng's request canonicalization (RequestKey
+// and suite expansion use eng's defaults, so they must match the
+// backends' engine flags for cross-tier cache keys to align — sharding
+// and aggregation are correct either way).
+func New(eng *frontendsim.Engine, cfg Config) (*Scheduler, error) {
+	ring, err := NewRing(cfg.Backends, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	retries := cfg.Retries
+	if max := len(ring.Nodes()) - 1; retries == 0 || retries > max {
+		retries = max
+	} else if retries < 0 {
+		retries = 0
+	}
+	return &Scheduler{
+		eng:     eng,
+		ring:    ring,
+		client:  NewClient(cfg.HTTPClient),
+		retries: retries,
+	}, nil
+}
+
+// Ring returns the scheduler's backend ring.
+func (s *Scheduler) Ring() *Ring { return s.ring }
+
+// Stats returns a snapshot of the cumulative dispatch counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Dispatched: s.dispatched.Load(),
+		Retried:    s.retried.Load(),
+		Coalesced:  s.coalesced.Load(),
+	}
+}
+
+// RunSuite runs the suite across the backend ring.  Results arrive in
+// suite order with the deterministic aggregate; the response is
+// byte-identical (as JSON) to a serial in-process Engine.RunSuite with
+// the same engine defaults.
+func (s *Scheduler) RunSuite(ctx context.Context, suite frontendsim.SuiteRequest) (*frontendsim.SuiteResult, error) {
+	return s.eng.RunSuiteVia(ctx, suite, s.Dispatch)
+}
+
+// Dispatch ships one request to its home backend, walking the ring on
+// failure.  Identical concurrent dispatches (same canonical key, e.g.
+// from two overlapping suites) coalesce into one backend call.
+func (s *Scheduler) Dispatch(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+	key, err := s.eng.RequestKey(req)
+	if err != nil {
+		return nil, err
+	}
+	res, err, shared := s.flight.Do(ctx, key, func(runCtx context.Context) (*frontendsim.Result, error) {
+		return s.dispatchKey(runCtx, key, req)
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	return res, err
+}
+
+// dispatchKey walks the key's ring sequence: the home node first, then
+// up to retries failover nodes.  Request errors (4xx — every backend
+// would refuse) and context cancellation abort the walk immediately.
+func (s *Scheduler) dispatchKey(ctx context.Context, key string, req frontendsim.Request) (*frontendsim.Result, error) {
+	s.dispatched.Add(1)
+	nodes := s.ring.Sequence(key)
+	attempts := s.retries + 1
+	if attempts > len(nodes) {
+		attempts = len(nodes)
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			s.retried.Add(1)
+		}
+		res, err := s.client.Simulate(ctx, nodes[i], req)
+		if err == nil {
+			return res, nil
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// The caller (or every coalesced caller) gave up; don't hammer
+			// the remaining backends with a dead request.
+			return nil, ctxErr
+		}
+		var be *BackendError
+		if errors.As(err, &be) && !be.Retryable() {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, &ExhaustedError{Benchmark: req.Benchmark, Attempts: attempts, Last: lastErr}
+}
+
+// ExhaustedError reports that every permitted ring node failed to serve
+// a request.
+type ExhaustedError struct {
+	Benchmark string
+	Attempts  int
+	Last      error // the last backend's failure
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("scheduler: %s failed on %d backend(s): %v", e.Benchmark, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last backend failure.
+func (e *ExhaustedError) Unwrap() error { return e.Last }

@@ -1,0 +1,133 @@
+package scheduler
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/pkg/frontendsim"
+)
+
+// Server is the HTTP API of the suite scheduler (served by cmd/simsched).
+//
+//	POST /v1/suites      JSON frontendsim.SuiteRequest -> JSON SuiteResult,
+//	                     sharded across the backend ring
+//	POST /v1/simulations JSON frontendsim.Request -> JSON Result, routed
+//	                     to the request's home backend (ring passthrough)
+//	GET  /v1/ring        ring topology and dispatch counters
+//	GET  /healthz        liveness
+type Server struct {
+	sched *Scheduler
+	mux   *http.ServeMux
+}
+
+// NewServer builds the HTTP frontend over sched.
+func NewServer(sched *Scheduler) *Server {
+	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/suites", s.handleSuite)
+	s.mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: err.Error()})
+}
+
+// statusFor maps dispatch errors to HTTP statuses: client cancellations
+// to 499, exhausted retries to 502, backend refusals to their own
+// status, everything else (request validation) to 400.
+func statusFor(err error) int {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 499
+	}
+	var ee *ExhaustedError
+	if errors.As(err, &ee) {
+		return http.StatusBadGateway
+	}
+	var be *BackendError
+	if errors.As(err, &be) {
+		return be.Status
+	}
+	return http.StatusBadRequest
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var suite frontendsim.SuiteRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&suite); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("scheduler: decode suite request: %w", err))
+		return
+	}
+	res, err := s.sched.RunSuite(r.Context(), suite)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req frontendsim.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("scheduler: decode request: %w", err))
+		return
+	}
+	res, err := s.sched.Dispatch(r.Context(), req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(res)
+}
+
+// handleRing reports the ring topology, the per-benchmark home nodes of
+// a default-configuration suite, and the dispatch counters.
+func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
+	assignment := map[string]string{}
+	for _, bench := range frontendsim.Benchmarks() {
+		if key, err := s.sched.eng.RequestKey(frontendsim.Request{Benchmark: bench}); err == nil {
+			assignment[bench] = s.sched.ring.Node(key)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Backends   []string          `json:"backends"`
+		Assignment map[string]string `json:"assignment"`
+		Stats      Stats             `json:"stats"`
+	}{Backends: s.sched.ring.Nodes(), Assignment: assignment, Stats: s.sched.Stats()})
+}
+
+// Describe returns a one-line routing summary (used by cmd/simsched
+// startup logging).
+func Describe() string {
+	return strings.Join([]string{
+		"POST /v1/suites",
+		"POST /v1/simulations",
+		"GET /v1/ring",
+		"GET /healthz",
+	}, ", ")
+}
