@@ -22,5 +22,21 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./...
 
+# Tier-1 benchmarks with allocation accounting; raw output passes
+# through and the parsed results land in BENCH_results.json.
+BENCH_TIER1 = ^(BenchmarkSimulatorThroughput|BenchmarkTable1Config|BenchmarkTraceCacheAccess|BenchmarkSchedulerDispatch)$$
+
+# Two steps, not a pipe: a benchmark build/run failure must fail the
+# target instead of being masked by benchjson's exit status.
 bench:
+	$(GO) test -run NONE -bench '$(BENCH_TIER1)' -benchmem -benchtime 3x . ./pkg/scheduler > BENCH_raw.out
+	$(GO) run ./cmd/benchjson -o BENCH_results.json < BENCH_raw.out && rm -f BENCH_raw.out
+
+# Fast allocation-regression gate: the short tier-1 benchmarks plus the
+# AllocsPerRun tests that pin the zero-allocation interval pipeline.
+bench-short:
+	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs' -v ./internal/sim
+	$(GO) test -run NONE -bench '$(BENCH_TIER1)' -benchmem -benchtime 1x . ./pkg/scheduler
+
+bench-full:
 	$(GO) test -bench=. -benchtime=1x .

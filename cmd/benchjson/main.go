@@ -1,0 +1,78 @@
+// benchjson converts `go test -bench` output on stdin into a JSON report.
+// It passes the raw output through to stdout unchanged (so `make bench`
+// stays readable) and writes the parsed form to the -o file:
+//
+//	go test -bench . -benchmem | benchjson -o BENCH_results.json
+//
+// Each benchmark line becomes one record with the iteration count and
+// every reported metric (ns/op, B/op, allocs/op, custom ReportMetric
+// units) keyed by unit name.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result line.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output JSON path")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if r, ok := parseLine(line); ok {
+			records = append(records, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	b, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: marshal:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one "BenchmarkX-8  3  123 ns/op  4 B/op ..." line.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	r := Record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Record{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

@@ -2,43 +2,63 @@
 // single hot benchmark, showing per-bank behaviour that the paper's
 // aggregate figures summarize — the access imbalance of the balanced
 // mapping, how the biased mapping shifts table entries toward cold banks,
-// and how hopping rotates the Vdd-gated bank.
+// and how hopping rotates the Vdd-gated bank.  Every run goes through
+// the public Engine API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/core"
 	"repro/internal/floorplan"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/pkg/frontendsim"
 )
 
-func run(name string, cfg core.Config, prof workload.Profile) {
-	opt := sim.DefaultOptions()
-	opt.WarmupOps = 80_000
-	opt.MeasureOps = 200_000
-	r := sim.Run(cfg, prof, opt)
-	fmt.Printf("%-22s banks=%d hit=%.4f hops=%3d |", name, cfg.TC.Banks, r.TCHitRate, r.TCHops)
-	for b := 0; b < cfg.TC.Banks; b++ {
-		bn := floorplan.TCBank(b)
-		peak := r.Temps.AbsMax(func(n string) bool { return n == bn })
-		fmt.Printf(" %s %5.1f°C", bn, peak)
+func run(eng *frontendsim.Engine, name string, req frontendsim.Request) {
+	r, err := eng.Run(context.Background(), req)
+	if err != nil {
+		log.Fatal(err)
 	}
-	tc := r.Temps.Unit(floorplan.IsTraceCache)
+	banks := r.Config.TC.Banks
+	fmt.Printf("%-22s banks=%d hit=%.4f hops=%3d |", name, banks, r.TCHitRate, r.TCHops)
+	for b := 0; b < banks; b++ {
+		bn := floorplan.TCBank(b)
+		for i, blk := range r.Blocks {
+			if blk == bn {
+				fmt.Printf(" %s %5.1f°C", bn, r.PeakRiseC[i])
+			}
+		}
+	}
+	tc := r.Units[frontendsim.UnitTraceCache]
 	fmt.Printf(" | TC peak %.1f avg %.1f\n", tc.AbsMax, tc.Average)
 }
 
 func main() {
-	prof, _ := workload.ByName("gzip")
-	base := core.DefaultConfig()
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(80_000),
+		frontendsim.WithMeasureOps(200_000),
+	)
+	base := frontendsim.Request{Benchmark: "gzip"}
 
 	fmt.Println("Trace-cache techniques on gzip (peak rise over ambient per bank):")
-	run("baseline (balanced)", base, prof)
-	run("address biasing", base.WithBiasedMapping(), prof)
-	run("blank silicon", base.WithBlankSilicon(), prof)
-	run("bank hopping", base.WithBankHopping(), prof)
-	run("hopping + biasing", base.WithBankHopping().WithBiasedMapping(), prof)
+	run(eng, "baseline (balanced)", base)
+
+	biased := base
+	biased.BiasedMapping = true
+	run(eng, "address biasing", biased)
+
+	blank := base
+	blank.BlankSilicon = true
+	run(eng, "blank silicon", blank)
+
+	hop := base
+	hop.BankHopping = true
+	run(eng, "bank hopping", hop)
+
+	hopBiased := hop
+	hopBiased.BiasedMapping = true
+	run(eng, "hopping + biasing", hopBiased)
 
 	fmt.Println("\nWhy biasing works: the XOR mapping balances accesses in the long")
 	fmt.Println("term, but phase bursts stress one bank (§3.2.2).  The biased table")

@@ -1,58 +1,63 @@
 // Quickstart: build the paper's baseline processor, run one benchmark
 // through the full power/thermal pipeline, and print the headline
-// numbers.  This is the smallest complete use of the library.
+// numbers.  This is the smallest complete use of the library, driving
+// the public Engine API (the same optimized path the simd/simsched
+// services run).
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"repro/internal/core"
-	"repro/internal/floorplan"
-	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/pkg/frontendsim"
 )
 
 func main() {
-	// 1. The baseline configuration is Table 1 of the paper: a quad-
-	//    cluster machine with a monolithic rename table / reorder buffer
-	//    and a two-banked trace cache.
-	cfg := core.DefaultConfig()
+	// 1. An Engine with the paper's scaled defaults, shortened phases for
+	//    a quick demo.  Engines are immutable and safe for concurrent use.
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(80_000),
+		frontendsim.WithMeasureOps(200_000),
+	)
 
 	// 2. Pick a workload.  The suite contains profiles for all 26
-	//    SPEC2000 applications the paper evaluates.
-	prof, _ := workload.ByName("gzip")
-
-	// 3. Run: a profiling phase measures nominal power, the thermal RC
-	//    network is warm-started at its steady state, then the measured
-	//    phase advances temperature every interval.
-	opt := sim.DefaultOptions()
-	opt.WarmupOps = 80_000
-	opt.MeasureOps = 200_000
-	result := sim.Run(cfg, prof, opt)
-
-	fmt.Printf("benchmark: %s\n", result.Bench)
-	fmt.Printf("IPC:       %.3f\n", result.IPC())
-	fmt.Printf("TC hits:   %.2f%%\n", result.TCHitRate*100)
-
-	// 4. The paper's three metrics, per unit of interest (§4).
-	for _, unit := range []struct {
-		name   string
-		filter func(string) bool
-	}{
-		{"Frontend", floorplan.IsFrontend},
-		{"ROB", floorplan.IsROB},
-		{"RAT", floorplan.IsRAT},
-		{"TraceCache", floorplan.IsTraceCache},
-	} {
-		t := result.Temps.Unit(unit.filter)
-		fmt.Printf("%-11s rise over ambient: AbsMax %.1f°C, Average %.1f°C, AvgMax %.1f°C\n",
-			unit.name, t.AbsMax, t.Average, t.AvgMax)
+	//    SPEC2000 applications the paper evaluates; the zero-value
+	//    request runs the Table 1 baseline configuration.
+	ctx := context.Background()
+	result, err := eng.Run(ctx, frontendsim.Request{Benchmark: "gzip"})
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// 5. Now enable the paper's full distributed frontend and compare.
-	dist := sim.Run(cfg.WithDistributedFrontend(2).WithBankHopping().WithBiasedMapping(), prof, opt)
-	base := result.Temps.Unit(floorplan.IsRAT)
-	after := dist.Temps.Unit(floorplan.IsRAT)
+	fmt.Printf("benchmark: %s\n", result.Benchmark)
+	fmt.Printf("IPC:       %.3f\n", result.IPC)
+	fmt.Printf("TC hits:   %.2f%%\n", result.TCHitRate*100)
+
+	// 3. The paper's three metrics, per unit of interest (§4).
+	for _, unit := range []string{
+		frontendsim.UnitFrontend,
+		frontendsim.UnitROB,
+		frontendsim.UnitRAT,
+		frontendsim.UnitTraceCache,
+	} {
+		t := result.Units[unit]
+		fmt.Printf("%-11s rise over ambient: AbsMax %.1f°C, Average %.1f°C, AvgMax %.1f°C\n",
+			unit, t.AbsMax, t.Average, t.AvgMax)
+	}
+
+	// 4. Now enable the paper's full distributed frontend and compare.
+	dist, err := eng.Run(ctx, frontendsim.Request{
+		Benchmark:     "gzip",
+		Frontends:     2,
+		BankHopping:   true,
+		BiasedMapping: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := result.Units[frontendsim.UnitRAT]
+	after := dist.Units[frontendsim.UnitRAT]
 	fmt.Printf("\ndistributed frontend: RAT peak rise %.1f°C -> %.1f°C (-%.0f%%), slowdown %.1f%%\n",
 		base.AbsMax, after.AbsMax, (base.AbsMax-after.AbsMax)/base.AbsMax*100,
 		(float64(dist.MeasCycles)/float64(result.MeasCycles)-1)*100)

@@ -2,18 +2,19 @@
 // blocks over a run, showing the dynamics behind the paper's AvgMax
 // metric — bursts heat the rename table and trace-cache banks between
 // reconfiguration intervals, and bank hopping visibly saw-tooths the
-// bank temperatures.
+// bank temperatures.  Runs go through the public Engine API; the
+// per-interval series comes from the in-process Raw() result.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/floorplan"
-	"repro/internal/metrics"
 	"repro/internal/sim"
-	"repro/internal/workload"
+	"repro/pkg/frontendsim"
 )
 
 func spark(vals []float64, lo, hi float64) string {
@@ -39,34 +40,31 @@ func trace(r *sim.Result, name string) []float64 {
 	}
 	out := make([]float64, 0, r.Temps.Intervals())
 	for s := 0; s < r.Temps.Intervals(); s++ {
-		// Reconstruct the per-interval series through the metrics API:
-		// AbsMax over a single block and single interval equals its
-		// temperature; Series does not expose raw samples, so sample via
-		// a one-block filter per interval window is not available —
-		// instead use the public PerInterval helper.
 		out = append(out, r.Temps.PerInterval(s)[i]-r.Temps.Ambient())
 	}
 	return out
 }
 
 func main() {
-	prof, _ := workload.ByName("crafty")
-	opt := sim.DefaultOptions()
-	opt.WarmupOps = 80_000
-	opt.MeasureOps = 400_000
-
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(80_000),
+		frontendsim.WithMeasureOps(400_000),
+	)
 	for _, c := range []struct {
 		name string
-		cfg  core.Config
+		req  frontendsim.Request
 	}{
-		{"baseline", core.DefaultConfig()},
-		{"hopping+biasing", core.DefaultConfig().WithBankHopping().WithBiasedMapping()},
+		{"baseline", frontendsim.Request{Benchmark: "crafty"}},
+		{"hopping+biasing", frontendsim.Request{Benchmark: "crafty", BankHopping: true, BiasedMapping: true}},
 	} {
-		r := sim.Run(c.cfg, prof, opt)
-		fmt.Printf("%s on %s: %d intervals of %d cycles\n",
-			c.name, prof.Name, r.Temps.Intervals(), opt.IntervalCycles)
+		res, err := eng.Run(context.Background(), c.req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := res.Raw()
+		fmt.Printf("%s on %s: %d intervals\n", c.name, res.Benchmark, res.Intervals)
 		blocks := []string{floorplan.RAT, floorplan.ROB}
-		for b := 0; b < c.cfg.TC.Banks; b++ {
+		for b := 0; b < res.Config.TC.Banks; b++ {
 			blocks = append(blocks, floorplan.TCBank(b))
 		}
 		for _, bl := range blocks {
@@ -78,10 +76,9 @@ func main() {
 			fmt.Printf("  %-5s rise %5.1f..%5.1f  %s\n", bl,
 				minOf(vals), r.Temps.AbsMax(only), spark(vals, 0, 60))
 		}
-		tc := r.Temps.Unit(floorplan.IsTraceCache)
+		tc := res.Units[frontendsim.UnitTraceCache]
 		fmt.Printf("  trace cache: AbsMax %.1f  Average %.1f  AvgMax %.1f  (metrics of §4)\n\n",
 			tc.AbsMax, tc.Average, tc.AvgMax)
-		_ = metrics.Reduction
 	}
 	fmt.Println("The gated bank cools while the enabled banks serve accesses; every")
 	fmt.Println("interval the gate rotates (§3.2.1) and the mapping table is re-biased")

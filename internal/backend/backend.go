@@ -62,6 +62,11 @@ func (rf *RegFile) SetReady(p int16, c uint64) {
 // ReadyAt returns the cycle from which p's value can be read.
 func (rf *RegFile) ReadyAt(p int16) uint64 { return rf.readyAt[p] }
 
+// ReadyAtPtr returns a stable pointer to p's readiness slot.  The backing
+// array never reallocates, so the scheduler's wakeup loop can cache the
+// pointer at dispatch and poll it with a single load per cycle.
+func (rf *RegFile) ReadyAtPtr(p int16) *uint64 { return &rf.readyAt[p] }
+
 // CountRead records an operand read for the power model.
 func (rf *RegFile) CountRead() { rf.Reads++ }
 
@@ -76,13 +81,27 @@ type QueueEntry struct {
 }
 
 // IssueQueue is one scheduler: a prescheduler FIFO feeding an issue
-// window that issues at most one instruction per cycle (Table 1).
+// window that issues at most one instruction per cycle (Table 1).  Both
+// stages live in fixed ring/flat buffers allocated at construction, so
+// steady-state dispatch and wakeup never touch the allocator.
 type IssueQueue struct {
 	kind     QueueKind
 	capacity int
-	presched []presEntry // FIFO, capacity prescap
-	prescap  int
-	window   []QueueEntry
+	// Prescheduler ring buffer: presCount live entries starting at
+	// presHead; len(pres) is a power of two >= prescap.
+	pres      []presEntry
+	presMask  int
+	presHead  int
+	presCount int
+	prescap   int
+	window    []QueueEntry // len <= capacity; backing array never grows
+	// WakeAt is a conservative lower bound on the next cycle at which any
+	// window entry could pass its NotBefore gate.  The core's inlined
+	// wakeup scan maintains it and skips the whole window while
+	// WakeAt > now — a skipped scan would have evaluated no entry, so the
+	// activity counters are unaffected.  Advance resets it when new
+	// entries (NotBefore 0) reach the window.
+	WakeAt uint64
 	// Activity counters: writes on insert, reads on wakeup/select.
 	Writes uint64
 	Reads  uint64
@@ -101,23 +120,35 @@ func NewIssueQueue(kind QueueKind, capacity, prescap int) *IssueQueue {
 	if capacity < 1 || prescap < 1 {
 		panic(fmt.Sprintf("backend: bad queue sizes %d/%d", capacity, prescap))
 	}
-	return &IssueQueue{kind: kind, capacity: capacity, prescap: prescap}
+	ring := 1
+	for ring < prescap {
+		ring *= 2
+	}
+	return &IssueQueue{
+		kind:     kind,
+		capacity: capacity,
+		pres:     make([]presEntry, ring),
+		presMask: ring - 1,
+		prescap:  prescap,
+		window:   make([]QueueEntry, 0, capacity),
+	}
 }
 
 // Kind returns the queue kind.
 func (q *IssueQueue) Kind() QueueKind { return q.kind }
 
 // CanDispatch reports whether the prescheduler can accept an entry.
-func (q *IssueQueue) CanDispatch() bool { return len(q.presched) < q.prescap }
+func (q *IssueQueue) CanDispatch() bool { return q.presCount < q.prescap }
 
 // Dispatch inserts an instruction into the prescheduler; it will reach
 // the issue window at cycle `arrives` (dispatch latency is charged by the
 // caller).  ok is false if the prescheduler is full.
 func (q *IssueQueue) Dispatch(e QueueEntry, arrives uint64) bool {
-	if len(q.presched) >= q.prescap {
+	if q.presCount >= q.prescap {
 		return false
 	}
-	q.presched = append(q.presched, presEntry{e: e, arrives: arrives})
+	q.pres[(q.presHead+q.presCount)&q.presMask] = presEntry{e: e, arrives: arrives}
+	q.presCount++
 	q.Writes++
 	return true
 }
@@ -125,10 +156,12 @@ func (q *IssueQueue) Dispatch(e QueueEntry, arrives uint64) bool {
 // Advance moves prescheduled entries whose time has come into the issue
 // window, in order, while the window has space.
 func (q *IssueQueue) Advance(now uint64) {
-	for len(q.presched) > 0 && q.presched[0].arrives <= now && len(q.window) < q.capacity {
-		q.window = append(q.window, q.presched[0].e)
-		q.presched = q.presched[1:]
+	for q.presCount > 0 && q.pres[q.presHead].arrives <= now && len(q.window) < q.capacity {
+		q.window = append(q.window, q.pres[q.presHead].e)
+		q.presHead = (q.presHead + 1) & q.presMask
+		q.presCount--
 		q.Writes++
+		q.WakeAt = 0 // the new entry is immediately evaluable
 	}
 }
 
@@ -141,20 +174,35 @@ type ReadyFunc func(id int32, now uint64) (ok bool, retry uint64)
 // and returns its id.  It returns (-1, false) if nothing can issue this
 // cycle.  Selection is oldest-first, matching the age-ordered schedulers
 // the paper assumes.
+//
+// The core's issueAll inlines this same scan (direct method call instead
+// of the ReadyFunc closure — measurably cheaper at wakeup-poll rates);
+// the two must stay in lockstep, including the WakeAt maintenance, so a
+// queue driven through either entry point behaves identically.
 func (q *IssueQueue) Issue(now uint64, ready ReadyFunc) (int32, bool) {
+	if q.WakeAt > now {
+		return -1, false // nothing could pass its NotBefore gate
+	}
 	best := -1
 	var bestSeq uint64
+	wake := ^uint64(0)
 	for i := range q.window {
 		e := &q.window[i]
 		if e.NotBefore > now {
+			if e.NotBefore < wake {
+				wake = e.NotBefore
+			}
 			continue
 		}
 		q.Reads++
 		ok, retry := ready(e.ID, now)
 		if !ok {
-			e.NotBefore = retry
 			if retry <= now {
-				e.NotBefore = now + 1
+				retry = now + 1
+			}
+			e.NotBefore = retry
+			if retry < wake {
+				wake = retry
 			}
 			continue
 		}
@@ -162,18 +210,37 @@ func (q *IssueQueue) Issue(now uint64, ready ReadyFunc) (int32, bool) {
 			best = i
 			bestSeq = e.Seq
 		}
+		if e.NotBefore < wake {
+			wake = e.NotBefore
+		}
 	}
+	q.WakeAt = wake
 	if best == -1 {
 		return -1, false
 	}
-	id := q.window[best].ID
-	q.window = append(q.window[:best], q.window[best+1:]...)
+	return q.RemoveIssued(best), true
+}
+
+// Window exposes the issue window so the core can run the wakeup/select
+// scan inline (a direct method call per entry instead of a closure hop).
+// Callers may update entries' NotBefore and must pair each readiness
+// evaluation with CountWakeup; issue via RemoveIssued.
+func (q *IssueQueue) Window() []QueueEntry { return q.window }
+
+// CountWakeup records one wakeup-scan entry evaluation (power).
+func (q *IssueQueue) CountWakeup() { q.Reads++ }
+
+// RemoveIssued removes window entry i, counting the issue, and returns
+// its id.
+func (q *IssueQueue) RemoveIssued(i int) int32 {
+	id := q.window[i].ID
+	q.window = append(q.window[:i], q.window[i+1:]...)
 	q.IssueCount++
-	return id, true
+	return id
 }
 
 // Occupancy returns the number of entries in the window and prescheduler.
-func (q *IssueQueue) Occupancy() int { return len(q.window) + len(q.presched) }
+func (q *IssueQueue) Occupancy() int { return len(q.window) + q.presCount }
 
 // WindowOccupancy returns the number of entries in the issue window only.
 func (q *IssueQueue) WindowOccupancy() int { return len(q.window) }
@@ -190,9 +257,24 @@ type MOBEntry struct {
 // MOB is the memory order buffer of one cluster.  Stores allocate a slot
 // in every cluster's MOB so that loads can disambiguate locally (§2 of
 // the paper); loads allocate a slot only in their own cluster.
+//
+// Entries live in a fixed backing array as a head-compacted deque (the
+// head slides forward on release and the live span is memmoved back to
+// the front when the tail hits the end), so steady-state allocation and
+// release never touch the allocator and scans stay contiguous.  The MOB
+// additionally tracks the oldest pending store whose address is still
+// unknown, which lets the per-cycle wakeup polling of blocked loads
+// answer "not yet" in O(1) instead of rescanning the buffer.
 type MOB struct {
-	entries  []MOBEntry
+	buf      []MOBEntry // backing, 2x capacity
+	head     int        // live entries are buf[head : head+count]
+	count    int
 	capacity int
+	// unknownStores counts live, not-done stores whose AddrKnownAt is
+	// still NeverReady; minUnknownSeq is the smallest Seq among them
+	// (valid only when unknownStores > 0).
+	unknownStores int
+	minUnknownSeq uint64
 	// Activity counters.
 	Writes uint64
 	Reads  uint64
@@ -204,33 +286,72 @@ func NewMOB(capacity int) *MOB {
 	if capacity < 1 {
 		panic("backend: MOB capacity must be positive")
 	}
-	return &MOB{capacity: capacity}
+	return &MOB{buf: make([]MOBEntry, 2*capacity), capacity: capacity}
 }
 
+// entries returns the live span.
+func (m *MOB) entries() []MOBEntry { return m.buf[m.head : m.head+m.count] }
+
 // CanAlloc reports whether a slot is free.
-func (m *MOB) CanAlloc() bool { return len(m.entries) < m.capacity }
+func (m *MOB) CanAlloc() bool { return m.count < m.capacity }
 
 // Alloc appends an entry in program order.  ok is false when full.
 // Callers must allocate in non-decreasing Seq order.
 func (m *MOB) Alloc(seq uint64, isStore bool) bool {
-	if len(m.entries) >= m.capacity {
+	if m.count >= m.capacity {
 		return false
 	}
-	if n := len(m.entries); n > 0 && m.entries[n-1].Seq > seq {
+	if m.count > 0 && m.buf[m.head+m.count-1].Seq > seq {
 		panic("backend: MOB allocation out of program order")
 	}
-	m.entries = append(m.entries, MOBEntry{Seq: seq, IsStore: isStore, AddrKnownAt: NeverReady})
+	if m.head+m.count == len(m.buf) {
+		// Tail hit the end of the backing array: slide the live span back
+		// to the front (amortized O(1): at most once per capacity allocs).
+		copy(m.buf, m.buf[m.head:m.head+m.count])
+		m.head = 0
+	}
+	m.buf[m.head+m.count] = MOBEntry{Seq: seq, IsStore: isStore, AddrKnownAt: NeverReady}
+	m.count++
+	if isStore {
+		if m.unknownStores == 0 {
+			m.minUnknownSeq = seq // allocation order is non-decreasing
+		}
+		m.unknownStores++
+	}
 	m.Writes++
 	return true
+}
+
+// noteAddrKnown updates the unknown-store tracking when e's address
+// transitions away from NeverReady (or e leaves the buffer still
+// unknown).
+func (m *MOB) noteAddrKnown(seq uint64) {
+	m.unknownStores--
+	if m.unknownStores > 0 && seq == m.minUnknownSeq {
+		for i := range m.entries() {
+			e := &m.entries()[i]
+			if e.IsStore && !e.Done && e.AddrKnownAt == NeverReady {
+				m.minUnknownSeq = e.Seq
+				return
+			}
+		}
+		// Tracking got inconsistent; fail loudly rather than deadlock.
+		panic("backend: MOB unknown-store count has no matching entry")
+	}
 }
 
 // SetAddr records that the address of the memory op with sequence seq is
 // known at this cluster from cycle c on.
 func (m *MOB) SetAddr(seq uint64, line uint64, c uint64) {
-	for i := range m.entries {
-		if m.entries[i].Seq == seq {
-			m.entries[i].Line = line
-			m.entries[i].AddrKnownAt = c
+	es := m.entries()
+	for i := range es {
+		if es[i].Seq == seq {
+			wasUnknown := es[i].IsStore && !es[i].Done && es[i].AddrKnownAt == NeverReady
+			es[i].Line = line
+			es[i].AddrKnownAt = c
+			if wasUnknown {
+				m.noteAddrKnown(seq) // after the update: the rescan must not re-find seq
+			}
 			m.Writes++
 			return
 		}
@@ -247,8 +368,14 @@ func (m *MOB) SetAddr(seq uint64, line uint64, c uint64) {
 // activity counters; core counts one search per executed memory op via
 // CountSearch.
 func (m *MOB) Disambiguate(seq uint64, line uint64, now uint64) (ok, forward bool) {
-	for i := range m.entries {
-		e := &m.entries[i]
+	if m.unknownStores > 0 && m.minUnknownSeq < seq {
+		// An older store's address is not even computed yet: the common
+		// blocked-load poll answers without scanning.
+		return false, false
+	}
+	es := m.entries()
+	for i := range es {
+		e := &es[i]
 		if e.Seq >= seq {
 			break
 		}
@@ -270,24 +397,31 @@ func (m *MOB) CountSearch() { m.Reads++ }
 
 // Release marks the entry with sequence seq done and compacts the head.
 func (m *MOB) Release(seq uint64) {
-	for i := range m.entries {
-		if m.entries[i].Seq == seq {
-			m.entries[i].Done = true
+	es := m.entries()
+	for i := range es {
+		if es[i].Seq == seq {
+			wasUnknown := es[i].IsStore && !es[i].Done && es[i].AddrKnownAt == NeverReady
+			es[i].Done = true
+			if wasUnknown {
+				// Defensive: a store leaving with its address never set
+				// must not wedge the unknown-store fast path.
+				m.noteAddrKnown(seq)
+			}
 			break
 		}
 	}
 	// Pop done entries from the head to free capacity in order.
-	i := 0
-	for i < len(m.entries) && m.entries[i].Done {
-		i++
+	for m.count > 0 && m.buf[m.head].Done {
+		m.head++
+		m.count--
 	}
-	if i > 0 {
-		m.entries = m.entries[i:]
+	if m.count == 0 {
+		m.head = 0
 	}
 }
 
 // Occupancy returns the number of live slots.
-func (m *MOB) Occupancy() int { return len(m.entries) }
+func (m *MOB) Occupancy() int { return m.count }
 
 // FU models the unpipelined functional units (dividers); pipelined units
 // accept one operation per cycle through their issue queue and need no

@@ -46,17 +46,27 @@ type ClusterActivity struct {
 	MOB        uint64
 }
 
-// Activity captures the current cumulative counters.
+// Activity captures the current cumulative counters.  It allocates a
+// fresh snapshot; the simulation loop uses ActivityInto with reusable
+// buffers.
 func (p *Processor) Activity() Activity {
-	a := Activity{
-		Cycles:    p.cycle,
-		Committed: p.Stats.Committed,
-		ITLB:      p.itlbAcc,
-		BP:        p.bpAcc,
-		Decode:    p.decodeOps,
-		UL2:       p.ul2.Stats.Accesses() + p.ul2.Stats.Fills,
-	}
-	a.TCBank = make([]uint64, p.tc.Banks())
+	var a Activity
+	p.ActivityInto(&a)
+	return a
+}
+
+// ActivityInto fills a with the current cumulative counters, reusing a's
+// slices when they have the right length (they do after the first call
+// with the same processor).
+func (p *Processor) ActivityInto(a *Activity) {
+	a.Cycles = p.cycle
+	a.Committed = p.Stats.Committed
+	a.ITLB = p.itlbAcc
+	a.BP = p.bpAcc
+	a.Decode = p.decodeOps
+	a.UL2 = p.ul2.Stats.Accesses() + p.ul2.Stats.Fills
+
+	a.TCBank = resizeU64(a.TCBank, p.tc.Banks())
 	for b := 0; b < p.tc.Banks(); b++ {
 		s := p.tc.BankStats(b)
 		a.TCBank[b] = s.Accesses() + s.Fills
@@ -64,17 +74,21 @@ func (p *Processor) Activity() Activity {
 	a.SteerOps = p.avail.Reads + p.avail.Writes
 
 	f := p.cfg.Frontends
-	a.RATReads = make([]uint64, f)
-	a.RATWrites = make([]uint64, f)
+	a.RATReads = resizeU64(a.RATReads, f)
+	a.RATWrites = resizeU64(a.RATWrites, f)
+	for part := 0; part < f; part++ {
+		a.RATReads[part] = 0
+		a.RATWrites[part] = 0
+	}
 	for cl := 0; cl < p.cfg.Clusters; cl++ {
 		part := p.cfg.FrontendOf(cl)
 		a.RATReads[part] += p.maps[cl].Reads
 		a.RATWrites[part] += p.maps[cl].Writes
 	}
-	a.ROBAllocs = make([]uint64, f)
-	a.ROBCompletes = make([]uint64, f)
-	a.ROBCommits = make([]uint64, f)
-	a.ROBWalks = make([]uint64, f)
+	a.ROBAllocs = resizeU64(a.ROBAllocs, f)
+	a.ROBCompletes = resizeU64(a.ROBCompletes, f)
+	a.ROBCommits = resizeU64(a.ROBCommits, f)
+	a.ROBWalks = resizeU64(a.ROBWalks, f)
 	for part := 0; part < f; part++ {
 		ps := p.reorder.Part[part]
 		a.ROBAllocs[part] = ps.Allocs
@@ -83,7 +97,9 @@ func (p *Processor) Activity() Activity {
 		a.ROBWalks[part] = ps.WalkReads
 	}
 
-	a.Cluster = make([]ClusterActivity, p.cfg.Clusters)
+	if len(a.Cluster) != p.cfg.Clusters {
+		a.Cluster = make([]ClusterActivity, p.cfg.Clusters)
+	}
 	for cl := 0; cl < p.cfg.Clusters; cl++ {
 		c := p.clusters[cl]
 		ca := &a.Cluster[cl]
@@ -102,27 +118,36 @@ func (p *Processor) Activity() Activity {
 		ca.DTLB = p.dtlb[cl].Stats.Accesses() + p.dtlb[cl].Stats.Fills
 		ca.MOB = c.Mob.Reads + c.Mob.Writes
 	}
-	return a
 }
 
-// Sub returns the per-interval delta a - prev (counter-wise).
+// Sub returns the per-interval delta a - prev (counter-wise).  It
+// allocates the result; the simulation loop uses SubInto.
 func (a Activity) Sub(prev Activity) Activity {
-	d := a
-	d.Cycles -= prev.Cycles
-	d.Committed -= prev.Committed
-	d.ITLB -= prev.ITLB
-	d.BP -= prev.BP
-	d.Decode -= prev.Decode
-	d.SteerOps -= prev.SteerOps
-	d.UL2 -= prev.UL2
-	d.TCBank = subSlice(a.TCBank, prev.TCBank)
-	d.RATReads = subSlice(a.RATReads, prev.RATReads)
-	d.RATWrites = subSlice(a.RATWrites, prev.RATWrites)
-	d.ROBAllocs = subSlice(a.ROBAllocs, prev.ROBAllocs)
-	d.ROBCompletes = subSlice(a.ROBCompletes, prev.ROBCompletes)
-	d.ROBCommits = subSlice(a.ROBCommits, prev.ROBCommits)
-	d.ROBWalks = subSlice(a.ROBWalks, prev.ROBWalks)
-	d.Cluster = make([]ClusterActivity, len(a.Cluster))
+	var d Activity
+	a.SubInto(&prev, &d)
+	return d
+}
+
+// SubInto writes the per-interval delta a - prev into d, reusing d's
+// slices when they have the right length.
+func (a *Activity) SubInto(prev, d *Activity) {
+	d.Cycles = a.Cycles - prev.Cycles
+	d.Committed = a.Committed - prev.Committed
+	d.ITLB = a.ITLB - prev.ITLB
+	d.BP = a.BP - prev.BP
+	d.Decode = a.Decode - prev.Decode
+	d.SteerOps = a.SteerOps - prev.SteerOps
+	d.UL2 = a.UL2 - prev.UL2
+	d.TCBank = subSlice(d.TCBank, a.TCBank, prev.TCBank)
+	d.RATReads = subSlice(d.RATReads, a.RATReads, prev.RATReads)
+	d.RATWrites = subSlice(d.RATWrites, a.RATWrites, prev.RATWrites)
+	d.ROBAllocs = subSlice(d.ROBAllocs, a.ROBAllocs, prev.ROBAllocs)
+	d.ROBCompletes = subSlice(d.ROBCompletes, a.ROBCompletes, prev.ROBCompletes)
+	d.ROBCommits = subSlice(d.ROBCommits, a.ROBCommits, prev.ROBCommits)
+	d.ROBWalks = subSlice(d.ROBWalks, a.ROBWalks, prev.ROBWalks)
+	if len(d.Cluster) != len(a.Cluster) {
+		d.Cluster = make([]ClusterActivity, len(a.Cluster))
+	}
 	for i := range a.Cluster {
 		ca, pa := a.Cluster[i], prev.Cluster[i]
 		dc := &d.Cluster[i]
@@ -141,19 +166,28 @@ func (a Activity) Sub(prev Activity) Activity {
 		dc.DTLB = ca.DTLB - pa.DTLB
 		dc.MOB = ca.MOB - pa.MOB
 	}
-	return d
 }
 
-func subSlice(a, b []uint64) []uint64 {
-	out := make([]uint64, len(a))
+// resizeU64 returns s when it has length n, a fresh slice otherwise.
+func resizeU64(s []uint64, n int) []uint64 {
+	if len(s) == n {
+		return s
+	}
+	return make([]uint64, n)
+}
+
+// subSlice writes a - b element-wise into dst (reused when sized right;
+// entries of a beyond b's length pass through unchanged).
+func subSlice(dst, a, b []uint64) []uint64 {
+	dst = resizeU64(dst, len(a))
 	for i := range a {
 		if i < len(b) {
-			out[i] = a[i] - b[i]
+			dst[i] = a[i] - b[i]
 		} else {
-			out[i] = a[i]
+			dst[i] = a[i]
 		}
 	}
-	return out
+	return dst
 }
 
 // TCHitRate returns the trace cache hit rate so far.

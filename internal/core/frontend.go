@@ -303,6 +303,9 @@ func (p *Processor) applyDispatch(u *uop.MicroOp, plan dispatchPlan, now uint64)
 		default:
 			op.srcPhys[s] = p.maps[cl].Get(r)
 		}
+		rf := p.regfile(cl, fp)
+		op.srcRF[s] = rf
+		op.srcReady[s] = rf.ReadyAtPtr(op.srcPhys[s])
 	}
 
 	if u.HasDst() {
@@ -314,7 +317,8 @@ func (p *Processor) applyDispatch(u *uop.MicroOp, plan dispatchPlan, now uint64)
 			phys, _ = p.freeInt[cl].Alloc()
 		}
 		op.dstPhys = phys
-		p.regfile(cl, fp).SetPending(phys)
+		op.dstRF = p.regfile(cl, fp)
+		op.dstRF.SetPending(phys)
 		prev := p.maps[cl].Set(u.Dst, phys)
 		if prev != rename.PhysNone {
 			op.addFree(int8(cl), fp, prev)
@@ -358,6 +362,26 @@ func (p *Processor) applyDispatch(u *uop.MicroOp, plan dispatchPlan, now uint64)
 		}
 	}
 
+	// Compact wakeup record for the per-cycle issue poll.
+	h := &p.readyHot[id]
+	*h = readyHot{}
+	if op.nSrc >= 1 {
+		h.src0 = op.srcReady[0]
+	}
+	if op.nSrc >= 2 && u.Class != uop.Store {
+		h.src1 = op.srcReady[1] // a store's data operand does not gate issue
+	}
+	switch u.Class {
+	case uop.IntDiv:
+		h.kind = readyIntDiv
+	case uop.FPDiv:
+		h.kind = readyFPDiv
+	case uop.Load:
+		h.kind = readyLoad
+		h.seq = u.Seq
+		h.line = op.line
+	}
+
 	cluster.Queues[plan.kind].Dispatch(
 		backend.QueueEntry{ID: id, Seq: u.Seq},
 		now+uint64(p.cfg.DispatchLatency),
@@ -389,9 +413,14 @@ func (p *Processor) makeCopy(r int8, donor, cl int, seq uint64, now uint64) int1
 		idx = int32(len(p.copies) - 1)
 	}
 	c := &p.copies[idx]
+	srcPhys := p.maps[donor].Get(r)
+	donorRF := p.regfile(donor, fp)
 	*c = copyState{
 		src: int8(donor), dst: int8(cl), fp: fp,
-		srcPhys: p.maps[donor].Get(r), dstPhys: phys, inUse: true,
+		srcPhys: srcPhys, dstPhys: phys, inUse: true,
+		srcReady: donorRF.ReadyAtPtr(srcPhys),
+		srcRF:    donorRF,
+		dstRF:    p.regfile(cl, fp),
 	}
 	delay := uint64(p.cfg.DispatchLatency)
 	if p.cfg.Distributed() && p.cfg.FrontendOf(donor) != p.cfg.FrontendOf(cl) {

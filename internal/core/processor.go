@@ -62,10 +62,17 @@ type opState struct {
 	srcPhys   [2]int16
 	srcFP     [2]bool
 	dstPhys   int16
-	frees     [8]regFree
-	ref       rob.Ref
-	line      uint64
-	page      uint64
+	// Resolved at dispatch so the per-cycle wakeup poll is a pointer load
+	// instead of a cluster->regfile->slice walk: srcReady points at the
+	// readiness slot of each source physical register, srcRF/dstRF at the
+	// owning register files (for read/write accounting and write-back).
+	srcReady [2]*uint64
+	srcRF    [2]*backend.RegFile
+	dstRF    *backend.RegFile
+	frees    [8]regFree
+	ref      rob.Ref
+	line     uint64
+	page     uint64
 }
 
 type copyState struct {
@@ -73,11 +80,35 @@ type copyState struct {
 	fp               bool
 	srcPhys, dstPhys int16
 	inUse            bool
+	srcReady         *uint64 // donor register's readiness slot
+	srcRF, dstRF     *backend.RegFile
 }
 
 type pipeEntry struct {
 	u     uop.MicroOp
 	ready uint64
+}
+
+// readyKind classifies what (besides source operands) gates an op's
+// issue, resolved once at dispatch.
+type readyKind uint8
+
+const (
+	readySimple readyKind = iota // sources only
+	readyIntDiv                  // + unpipelined integer divider free
+	readyFPDiv                   // + unpipelined FP divider free
+	readyLoad                    // + memory disambiguation
+)
+
+// readyHot is the compact per-slab-slot record the per-cycle wakeup poll
+// reads: one cache line instead of the full opState.  src0/src1 point at
+// the readiness slots of the source physical registers (nil: no operand
+// gates issue — absent source, or a store's data operand).
+type readyHot struct {
+	src0, src1 *uint64
+	seq        uint64 // loads: program order for disambiguation
+	line       uint64 // loads: cache-line address
+	kind       readyKind
 }
 
 type event struct {
@@ -110,9 +141,10 @@ type Processor struct {
 	// frontend first, then by link distance.
 	prefer [][]int
 
-	cycle uint64
-	slab  []opState
-	slabN uint64 // slab size
+	cycle    uint64
+	slab     []opState
+	readyHot []readyHot // parallel to slab
+	slabN    uint64     // slab size
 
 	copies   []copyState
 	copyFree []int32
@@ -133,8 +165,6 @@ type Processor struct {
 
 	pendingCommits []pendingCommit // commit effects delayed by the distributed latency
 	commitBuf      []int32
-
-	readyFns []backend.ReadyFunc // one per cluster
 
 	lastCommitCycle uint64
 
@@ -184,7 +214,20 @@ func New(cfg Config, feeder Feeder) *Processor {
 	// distributed organization delays; size for the worst backlog.
 	p.slabN = uint64(2*cfg.ROBEntries + cfg.CommitWidth*(cfg.DistributedCommitExtra+2))
 	p.slab = make([]opState, p.slabN)
+	p.readyHot = make([]readyHot, p.slabN)
 	p.pipe = make([]pipeEntry, (cfg.FetchToDispatch+cfg.DecodeLatency+2)*cfg.FetchWidth)
+
+	// Steady-state capacity for every append-driven structure of the
+	// cycle loop, so the measured phase never grows a slice: at most one
+	// live event per slab slot or copy, copies bounded by the copy-queue
+	// occupancies, commit backlog bounded by width and delay.
+	copyCap := cfg.Clusters*(cfg.Cluster.CopyQ+cfg.Cluster.Prescheduler) + 8
+	p.copies = make([]copyState, 0, copyCap)
+	p.copyFree = make([]int32, 0, copyCap)
+	p.events = make(eventHeap, 0, int(p.slabN)+copyCap)
+	p.pendingCommits = make([]pendingCommit, 0, cfg.CommitWidth*(cfg.DistributedCommitExtra+2))
+	p.commitBuf = make([]int32, 0, cfg.CommitWidth)
+	p.pending = make([]uop.MicroOp, 0, 2*uop.MaxTraceOps)
 
 	// Architectural initial state: every logical register lives in
 	// cluster 0, mapped to a freshly allocated (and ready) physical
@@ -239,13 +282,6 @@ func New(cfg Config, feeder Feeder) *Processor {
 		p.predictor = bpred.New(bits)
 	}
 
-	p.readyFns = make([]backend.ReadyFunc, cfg.Clusters)
-	for cl := 0; cl < cfg.Clusters; cl++ {
-		cl := cl
-		p.readyFns[cl] = func(id int32, now uint64) (bool, uint64) {
-			return p.ready(cl, id, now)
-		}
-	}
 	return p
 }
 
@@ -379,8 +415,7 @@ func (p *Processor) drainEvents(now uint64) {
 func (p *Processor) completeOp(id int32, now uint64) {
 	op := &p.slab[id]
 	if op.storePoll {
-		rf := p.regfile(int(op.cluster), op.srcFP[1])
-		rt := rf.ReadyAt(op.srcPhys[1])
+		rt := *op.srcReady[1]
 		if rt > now {
 			// Data still in flight: re-arm at its ready time, or poll if
 			// its producer has not issued yet.
@@ -394,7 +429,7 @@ func (p *Processor) completeOp(id int32, now uint64) {
 		op.storePoll = false
 	}
 	if op.u.Class == uop.Store && op.nSrc == 2 {
-		p.regfile(int(op.cluster), op.srcFP[1]).CountRead()
+		op.srcRF[1].CountRead()
 	}
 	p.reorder.Complete(op.ref)
 	if op.redirect {
@@ -488,9 +523,50 @@ func (p *Processor) issueAll(now uint64) {
 		for k := backend.QueueKind(0); k < backend.NumQueues; k++ {
 			q := cluster.Queues[k]
 			q.Advance(now)
-			id, ok := q.Issue(now, p.readyFns[cl])
-			if ok {
-				p.execute(cl, id, now)
+			if q.WakeAt > now {
+				// No entry can pass its NotBefore gate: the scan would
+				// evaluate nothing, so skipping it is counter-neutral.
+				continue
+			}
+			// The oldest-ready selection of IssueQueue.Issue, inlined over
+			// the exposed window: the wakeup poll of every waiting entry
+			// runs every cycle, and the direct p.ready call (no closure
+			// indirection) is measurably cheaper at that call rate.
+			win := q.Window()
+			best := -1
+			var bestSeq uint64
+			wake := ^uint64(0)
+			for i := range win {
+				e := &win[i]
+				if e.NotBefore > now {
+					if e.NotBefore < wake {
+						wake = e.NotBefore
+					}
+					continue
+				}
+				q.CountWakeup()
+				ok, retry := p.ready(cl, e.ID, now)
+				if !ok {
+					if retry <= now {
+						retry = now + 1
+					}
+					e.NotBefore = retry
+					if retry < wake {
+						wake = retry
+					}
+					continue
+				}
+				if best == -1 || e.Seq < bestSeq {
+					best = i
+					bestSeq = e.Seq
+				}
+				if e.NotBefore < wake {
+					wake = e.NotBefore // ready, not issued: re-evaluate next cycle
+				}
+			}
+			q.WakeAt = wake
+			if best >= 0 {
+				p.execute(cl, q.RemoveIssued(best), now)
 			}
 		}
 	}
@@ -498,11 +574,11 @@ func (p *Processor) issueAll(now uint64) {
 
 // ready decides whether instruction id may issue in cluster cl at cycle
 // now; when not, it returns the earliest cycle worth re-checking.
+// Source readiness reads go through the pointers cached at dispatch.
 func (p *Processor) ready(cl int, id int32, now uint64) (bool, uint64) {
 	if id >= copyBase {
 		c := &p.copies[id-copyBase]
-		rf := p.regfile(int(c.src), c.fp)
-		at := rf.ReadyAt(c.srcPhys)
+		at := *c.srcReady
 		if at <= now {
 			return true, 0
 		}
@@ -512,18 +588,21 @@ func (p *Processor) ready(cl int, id int32, now uint64) (bool, uint64) {
 		}
 		return false, at
 	}
-	op := &p.slab[id]
+	h := &p.readyHot[id]
 	retry := uint64(0)
-	for s := int8(0); s < op.nSrc; s++ {
-		if op.u.Class == uop.Store && s == 1 {
-			// Stores issue their address generation as soon as the
-			// address operand is ready; the data operand is only needed
-			// to become ready-to-commit (store-address/store-data split).
-			continue
+	// A store's data operand does not gate issue (store-address/
+	// store-data split: dispatch leaves its src1 nil here); it is only
+	// needed to become ready-to-commit.
+	if h.src0 != nil {
+		if at := *h.src0; at > now {
+			if at == backend.NeverReady {
+				return false, now + 1
+			}
+			retry = at
 		}
-		rf := p.regfile(cl, op.srcFP[s])
-		at := rf.ReadyAt(op.srcPhys[s])
-		if at > now {
+	}
+	if h.src1 != nil {
+		if at := *h.src1; at > now {
 			if at == backend.NeverReady {
 				return false, now + 1
 			}
@@ -535,17 +614,17 @@ func (p *Processor) ready(cl int, id int32, now uint64) (bool, uint64) {
 	if retry > now {
 		return false, retry
 	}
-	switch op.u.Class {
-	case uop.IntDiv:
+	switch h.kind {
+	case readyIntDiv:
 		if !p.clusters[cl].IntFU.CanStart(now) {
 			return false, now + 1
 		}
-	case uop.FPDiv:
+	case readyFPDiv:
 		if !p.clusters[cl].FPFU.CanStart(now) {
 			return false, now + 1
 		}
-	case uop.Load:
-		if ok, _ := p.clusters[cl].Mob.Disambiguate(op.u.Seq, op.line, now); !ok {
+	case readyLoad:
+		if ok, _ := p.clusters[cl].Mob.Disambiguate(h.seq, h.line, now); !ok {
 			return false, now + 1
 		}
 	}
@@ -570,7 +649,7 @@ func (p *Processor) execute(cl int, id int32, now uint64) {
 		if op.u.Class == uop.Store && s == 1 {
 			continue // the data operand is read at completion
 		}
-		p.regfile(cl, op.srcFP[s]).CountRead()
+		op.srcRF[s].CountRead()
 	}
 	var done uint64
 	switch op.u.Class {
@@ -588,16 +667,16 @@ func (p *Processor) execute(cl int, id int32, now uint64) {
 		done = now + uint64(lat)
 	}
 	if op.u.HasDst() {
-		p.regfile(cl, uop.IsFPReg(op.u.Dst)).SetReady(op.dstPhys, done)
+		op.dstRF.SetReady(op.dstPhys, done)
 	}
 	p.pushEvent(done, id)
 }
 
 func (p *Processor) executeCopy(idx int32, now uint64) {
 	c := &p.copies[idx]
-	p.regfile(int(c.src), c.fp).CountRead()
+	c.srcRF.CountRead()
 	arrive := p.net.Send(now+1, int(c.src), int(c.dst))
-	p.regfile(int(c.dst), c.fp).SetReady(c.dstPhys, arrive+1)
+	c.dstRF.SetReady(c.dstPhys, arrive+1)
 	c.inUse = false
 	p.copyFree = append(p.copyFree, idx)
 }
@@ -665,7 +744,7 @@ func (p *Processor) executeStore(op *opState, cl int, now uint64) uint64 {
 	// The store is ready to commit once its data operand has also been
 	// produced; completeOp re-arms the event until then.
 	if op.nSrc == 2 {
-		rt := p.regfile(cl, op.srcFP[1]).ReadyAt(op.srcPhys[1])
+		rt := *op.srcReady[1]
 		switch {
 		case rt == backend.NeverReady:
 			op.storePoll = true

@@ -1,0 +1,112 @@
+// Package goldentest holds the shared harness for the bit-exact golden
+// fixtures that pin simulation results across hot-path rewrites: float
+// vectors are encoded as hex bit patterns (no reliance on decimal
+// round-tripping) and compared key by key, element by element.
+package goldentest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Vec encodes a float64 vector as hex bit patterns, exact to the last
+// ulp.
+func Vec(v []float64) []string {
+	out := make([]string, len(v))
+	for i, x := range v {
+		out[i] = fmt.Sprintf("%016x", math.Float64bits(x))
+	}
+	return out
+}
+
+// Check compares got against the fixture at path.  With update true the
+// fixture is rewritten instead and the test records nothing.
+func Check(t *testing.T, path string, got map[string][]string, update bool) {
+	t.Helper()
+	if update {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s: %v (run with -update to create)", path, err)
+	}
+	var want map[string][]string
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden %s: %d keys, got %d", path, len(want), len(got))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			t.Fatalf("golden %s: missing key %s", path, k)
+		}
+		if len(wv) != len(gv) {
+			t.Fatalf("golden %s key %s: %d values, got %d", path, k, len(wv), len(gv))
+		}
+		for i := range wv {
+			if wv[i] != gv[i] {
+				t.Errorf("golden %s key %s[%d]: want %s, got %s", path, k, i, wv[i], gv[i])
+			}
+		}
+	}
+}
+
+// CheckBytes compares got byte-for-byte against the fixture at path,
+// reporting the first differing offset with context.  With update true
+// the fixture is rewritten instead.
+func CheckBytes(t *testing.T, path string, got []byte, update bool) {
+	t.Helper()
+	if update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden %s: %v (run with -update to create)", path, err)
+	}
+	if bytes.Equal(want, got) {
+		return
+	}
+	t.Errorf("golden %s changed (%d vs %d bytes)", path, len(want), len(got))
+	for i := 0; i < len(want) && i < len(got); i++ {
+		if want[i] != got[i] {
+			t.Errorf("first difference at byte %d:\nwant ...%s...\ngot  ...%s...",
+				i, context(want, i), context(got, i))
+			return
+		}
+	}
+}
+
+// context returns up to 40 bytes around offset i of b.
+func context(b []byte, i int) []byte {
+	lo, hi := i-40, i+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return b[lo:hi]
+}

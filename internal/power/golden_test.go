@@ -1,0 +1,110 @@
+package power
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/goldentest"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// syntheticActivity fills every counter with a deterministic non-trivial
+// value so each energy term of the model is exercised.
+func syntheticActivity(cfg core.Config) core.Activity {
+	a := core.Activity{
+		Cycles:    100_000,
+		Committed: 180_000,
+		ITLB:      12_345,
+		BP:        23_456,
+		Decode:    170_001,
+		SteerOps:  88_123,
+		UL2:       4_321,
+	}
+	a.TCBank = make([]uint64, cfg.TC.Banks)
+	for b := range a.TCBank {
+		a.TCBank[b] = uint64(9_000 + 1_111*b)
+	}
+	f := cfg.Frontends
+	a.RATReads = make([]uint64, f)
+	a.RATWrites = make([]uint64, f)
+	a.ROBAllocs = make([]uint64, f)
+	a.ROBCompletes = make([]uint64, f)
+	a.ROBCommits = make([]uint64, f)
+	a.ROBWalks = make([]uint64, f)
+	for p := 0; p < f; p++ {
+		a.RATReads[p] = uint64(40_000 + 700*p)
+		a.RATWrites[p] = uint64(20_000 + 300*p)
+		a.ROBAllocs[p] = uint64(30_000 + 500*p)
+		a.ROBCompletes[p] = uint64(29_000 + 400*p)
+		a.ROBCommits[p] = uint64(28_000 + 350*p)
+		a.ROBWalks[p] = uint64(6_000 + 90*p)
+	}
+	a.Cluster = make([]core.ClusterActivity, cfg.Clusters)
+	for cl := range a.Cluster {
+		ca := &a.Cluster[cl]
+		ca.IRFReads = uint64(15_000 + 101*cl)
+		ca.IRFWrites = uint64(8_000 + 53*cl)
+		ca.FPRFReads = uint64(5_000 + 41*cl)
+		ca.FPRFWrites = uint64(2_500 + 29*cl)
+		for q := 0; q < int(backend.NumQueues); q++ {
+			ca.Queue[q] = uint64(60_000 + 997*cl + 131*q)
+			ca.Issues[q] = uint64(7_000 + 61*cl + 17*q)
+		}
+		ca.IntFUOps = uint64(12_000 + 211*cl)
+		ca.FPFUOps = uint64(3_000 + 83*cl)
+		ca.AgenOps = uint64(9_000 + 127*cl)
+		ca.DL1 = uint64(10_000 + 149*cl)
+		ca.DTLB = uint64(9_500 + 139*cl)
+		ca.MOB = uint64(11_000 + 157*cl)
+	}
+	return a
+}
+
+func goldenConfigs() map[string]core.Config {
+	return map[string]core.Config{
+		"baseline":    core.DefaultConfig(),
+		"distributed": core.DefaultConfig().WithDistributedFrontend(2).WithBankHopping().WithBiasedMapping(),
+	}
+}
+
+// TestGoldenDynamicLeakage pins the exact bits of Dynamic and Leakage for
+// synthetic activity, before and after the scratch-buffer rewrite.
+func TestGoldenDynamicLeakage(t *testing.T) {
+	for name, cfg := range goldenConfigs() {
+		t.Run(name, func(t *testing.T) {
+			fp := floorplan.New(floorplan.Config{
+				TCBanks:     cfg.TC.Banks,
+				Distributed: cfg.Distributed(),
+				Partitions:  cfg.Frontends,
+				Clusters:    cfg.Clusters,
+			})
+			m := New(cfg, fp, DefaultConstants())
+			act := syntheticActivity(cfg)
+			enabled := make([]bool, cfg.TC.Banks)
+			for b := range enabled {
+				enabled[b] = true
+			}
+			if cfg.TC.Banks > 2 {
+				enabled[cfg.TC.Banks-1] = false // one gated bank, as under hopping
+			}
+			dyn := m.Dynamic(act, enabled)
+			m.SetNominal(dyn)
+			temps := make([]float64, len(fp.Blocks))
+			for i := range temps {
+				temps[i] = 45 + 2.5*float64(i%13) // spans the leakage exponential
+			}
+			leak := m.Leakage(temps, enabled)
+			sum := Add(dyn, leak)
+			goldentest.Check(t, filepath.Join("testdata", "golden_"+name+".json"), map[string][]string{
+				"dynamic": goldentest.Vec(dyn),
+				"leakage": goldentest.Vec(leak),
+				"total":   goldentest.Vec(sum),
+			}, *updateGolden)
+		})
+	}
+}

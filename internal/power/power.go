@@ -10,10 +10,21 @@
 // relative picture: frontend ≈ 30% of dynamic power, the Figure 1
 // temperature landscape, and the −11% distributed-ROB power).  All the
 // paper's results are ratios, which is what the calibration targets.
+//
+// The model resolves every floorplan block once at construction into
+// integer index tables with precomputed clock/idle powers (the same
+// precompute-the-geometry-once idea the fast thermal-computation
+// literature applies to temperature kernels), so the per-interval entry
+// points DynamicInto and LeakageInto are pure array walks over
+// caller-provided scratch: no string lookups and no allocation on the
+// simulation hot path.
 package power
 
 import (
+	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/floorplan"
@@ -101,6 +112,18 @@ func DefaultConstants() Constants {
 	}
 }
 
+// blockTerm is one resolved floorplan block: its index (-1 when the block
+// is absent from the floorplan) and its precomputed clock/idle power.
+type blockTerm struct {
+	idx   int
+	clock float64
+}
+
+// clusterTerms are the resolved sub-blocks of one backend cluster.
+type clusterTerms struct {
+	irf, fprf, is, fps, cs, mob, ifu, fpfu, dl1, dtlb blockTerm
+}
+
 // Model converts interval activity deltas into per-block power vectors
 // aligned with a floorplan.
 type Model struct {
@@ -108,15 +131,109 @@ type Model struct {
 	fp      *floorplan.Floorplan
 	k       Constants
 	nominal []float64 // per-block nominal dynamic power for leakage
+
+	// Index tables resolved at construction so the per-interval entry
+	// points never consult the floorplan's string-keyed map.
+	tc                  []blockTerm // per trace-cache bank
+	itlb, bp, deco, ul2 blockTerm
+	rat, rob            []blockTerm // per frontend partition
+	cl                  []clusterTerms
+	ratEnergy           float64 // RATAccess with DistEPAFactor folded in
+	robEnergy           float64
+	leakBank            []int // per block: trace-cache bank number, or -1
 }
 
 // New builds a power model for the configuration and floorplan.
 func New(cfg core.Config, fp *floorplan.Floorplan, k Constants) *Model {
-	return &Model{cfg: cfg, fp: fp, k: k, nominal: make([]float64, len(fp.Blocks))}
+	m := &Model{cfg: cfg, fp: fp, k: k, nominal: make([]float64, len(fp.Blocks))}
+
+	m.tc = make([]blockTerm, cfg.TC.Banks)
+	for b := range m.tc {
+		m.tc[b] = m.resolve(floorplan.TCBank(b), k.ClockSRAM)
+	}
+	m.itlb = m.resolve(floorplan.ITLB, k.ClockSRAM)
+	m.bp = m.resolve(floorplan.BP, k.ClockLogic)
+	m.deco = m.resolve(floorplan.DECO, k.ClockLogic)
+	m.ul2 = m.resolve(floorplan.UL2, k.ClockUL2)
+
+	epaScale := 1.0
+	if cfg.Distributed() {
+		epaScale = k.DistEPAFactor
+	}
+	m.ratEnergy = k.RATAccess * epaScale
+	m.robEnergy = k.ROBAccess * epaScale
+	m.rat = make([]blockTerm, cfg.Frontends)
+	m.rob = make([]blockTerm, cfg.Frontends)
+	for p := range m.rat {
+		ratName, robName := floorplan.RAT, floorplan.ROB
+		if cfg.Distributed() {
+			ratName, robName = floorplan.RATPart(p), floorplan.ROBPart(p)
+		}
+		m.rat[p] = m.resolve(ratName, k.ClockLogic)
+		m.rob[p] = m.resolve(robName, k.ClockLogic)
+	}
+
+	m.cl = make([]clusterTerms, cfg.Clusters)
+	for c := range m.cl {
+		m.cl[c] = m.resolveCluster(c)
+	}
+
+	m.leakBank = make([]int, len(fp.Blocks))
+	for i := range m.leakBank {
+		m.leakBank[i] = -1
+	}
+	for b, t := range m.tc {
+		if t.idx >= 0 {
+			m.leakBank[t.idx] = b
+		}
+	}
+	// Trace-cache blocks beyond the configured bank count (only possible
+	// with a floorplan wider than the configuration): parse the full bank
+	// suffix rather than a single digit.
+	for i, b := range fp.Blocks {
+		if m.leakBank[i] < 0 && floorplan.IsTraceCache(b.Name) {
+			if n, err := strconv.Atoi(strings.TrimPrefix(b.Name, "TC-")); err == nil {
+				m.leakBank[i] = n
+			}
+		}
+	}
+	return m
+}
+
+// resolve looks up a block and precomputes its clock/idle power.
+func (m *Model) resolve(name string, density float64) blockTerm {
+	i := m.fp.Index(name)
+	if i < 0 {
+		return blockTerm{idx: -1}
+	}
+	return blockTerm{idx: i, clock: density * m.fp.Blocks[i].Area()}
+}
+
+// resolveCluster resolves the sub-blocks of cluster c.
+func (m *Model) resolveCluster(c int) clusterTerms {
+	k := &m.k
+	cb := func(unit string, density float64) blockTerm {
+		return m.resolve(floorplan.ClusterBlock(c, unit), density)
+	}
+	return clusterTerms{
+		irf:  cb("IRF", k.ClockLogic),
+		fprf: cb("FPRF", k.ClockLogic),
+		is:   cb("IS", k.ClockLogic),
+		fps:  cb("FPS", k.ClockLogic),
+		cs:   cb("CS", k.ClockLogic),
+		mob:  cb("MOB", k.ClockLogic),
+		ifu:  cb("IFU", k.ClockLogic),
+		fpfu: cb("FPFU", k.ClockLogic),
+		dl1:  cb("DL1", k.ClockSRAM),
+		dtlb: cb("DTLB", k.ClockSRAM),
+	}
 }
 
 // Constants returns the model's energy table.
 func (m *Model) Constants() Constants { return m.k }
+
+// Blocks returns the number of floorplan blocks a power vector spans.
+func (m *Model) Blocks() int { return len(m.fp.Blocks) }
 
 // SetNominal installs the per-block nominal dynamic power used as the
 // leakage base (the paper obtains it from a 50M-instruction profiling
@@ -131,117 +248,160 @@ func nj(count uint64, energyNJ float64, seconds float64) float64 {
 	return float64(count) * energyNJ * 1e-9 / seconds
 }
 
+// add accumulates w into the block's slot when the block exists.
+func add(out []float64, t blockTerm, w float64) {
+	if t.idx >= 0 {
+		out[t.idx] += w
+	}
+}
+
 // Dynamic computes the per-block dynamic power (W) for one interval.
 // delta is the activity difference over the interval; tcEnabled flags
 // which trace-cache banks were powered (Vdd-gated banks get no clock
 // power and no leakage).  The returned slice is indexed like fp.Blocks.
+//
+// Dynamic allocates its result; the hot path uses DynamicInto.
 func (m *Model) Dynamic(delta core.Activity, tcEnabled []bool) []float64 {
+	return m.DynamicInto(&delta, tcEnabled, make([]float64, len(m.fp.Blocks)))
+}
+
+// DynamicInto is Dynamic writing into caller-provided scratch: out is
+// zeroed, filled, and returned.  len(out) must equal the floorplan's
+// block count.  DynamicInto performs no allocation and no string lookups.
+func (m *Model) DynamicInto(delta *core.Activity, tcEnabled []bool, out []float64) []float64 {
+	if len(out) != len(m.fp.Blocks) {
+		panic(fmt.Sprintf("power: DynamicInto scratch has %d blocks, want %d", len(out), len(m.fp.Blocks)))
+	}
 	k := &m.k
 	seconds := float64(delta.Cycles) / (k.ClockGHz * 1e9)
 	if seconds <= 0 {
 		seconds = 1e-12
 	}
-	out := make([]float64, len(m.fp.Blocks))
-	set := func(name string, w float64) {
-		if i := m.fp.Index(name); i >= 0 {
-			out[i] += w
-		}
+	for i := range out {
+		out[i] = 0
 	}
 
 	// Trace-cache banks: per-bank access energy plus SRAM clock when
 	// powered.  (§4: the per-access energy is the proportional part of
 	// the total cache energy, so no bank is artificially favoured.)
 	for b, acc := range delta.TCBank {
-		name := floorplan.TCBank(b)
+		t := m.tcTerm(b)
 		w := nj(acc, k.TCAccess, seconds)
 		if b < len(tcEnabled) && !tcEnabled[b] {
 			w = 0 // gated: no clock either; activity should be zero anyway
-		} else if i := m.fp.Index(name); i >= 0 {
-			w += k.ClockSRAM * m.fp.Blocks[i].Area()
+		} else if t.idx >= 0 {
+			w += t.clock
 		}
-		set(name, w)
+		add(out, t, w)
 	}
 
-	set(floorplan.ITLB, nj(delta.ITLB, k.ITLBAccess, seconds)+m.clock(floorplan.ITLB, k.ClockSRAM))
-	set(floorplan.BP, nj(delta.BP, k.BPAccess, seconds)+m.clock(floorplan.BP, k.ClockLogic))
-	set(floorplan.DECO,
+	add(out, m.itlb, nj(delta.ITLB, k.ITLBAccess, seconds)+m.itlb.clock)
+	add(out, m.bp, nj(delta.BP, k.BPAccess, seconds)+m.bp.clock)
+	add(out, m.deco,
 		nj(delta.Decode, k.DecodeOp, seconds)+
 			nj(delta.SteerOps, k.SteerOp, seconds)+
-			m.clock(floorplan.DECO, k.ClockLogic))
+			m.deco.clock)
 
-	// RAT and ROB: centralized or per-partition.
-	epaScale := 1.0
-	if m.cfg.Distributed() {
-		epaScale = k.DistEPAFactor
-	}
+	// RAT and ROB: centralized or per-partition (the distributed
+	// energy-per-access factor is folded into ratEnergy/robEnergy).
 	for part := range delta.RATReads {
-		name := floorplan.RAT
-		if m.cfg.Distributed() {
-			name = floorplan.RATPart(part)
-		}
+		t := m.partTerm(m.rat, part, ratPartName)
 		acc := delta.RATReads[part] + delta.RATWrites[part]
-		set(name, nj(acc, k.RATAccess*epaScale, seconds)+m.clock(name, k.ClockLogic))
+		add(out, t, nj(acc, m.ratEnergy, seconds)+t.clock)
 	}
 	for part := range delta.ROBAllocs {
-		name := floorplan.ROB
-		if m.cfg.Distributed() {
-			name = floorplan.ROBPart(part)
-		}
+		t := m.partTerm(m.rob, part, robPartName)
 		acc := delta.ROBAllocs[part] + delta.ROBCompletes[part] + delta.ROBCommits[part]
-		w := nj(acc, k.ROBAccess*epaScale, seconds) +
+		w := nj(acc, m.robEnergy, seconds) +
 			nj(delta.ROBWalks[part], k.ROBWalkRead, seconds) +
-			m.clock(name, k.ClockLogic)
-		set(name, w)
+			t.clock
+		add(out, t, w)
 	}
 
-	set(floorplan.UL2, nj(delta.UL2, k.UL2Access, seconds)+m.clock(floorplan.UL2, k.ClockUL2))
+	add(out, m.ul2, nj(delta.UL2, k.UL2Access, seconds)+m.ul2.clock)
 
-	for cl, ca := range delta.Cluster {
-		cb := func(unit string) string { return floorplan.ClusterBlock(cl, unit) }
-		set(cb("IRF"), nj(ca.IRFReads, k.RFRead, seconds)+nj(ca.IRFWrites, k.RFWrite, seconds)+
-			m.clock(cb("IRF"), k.ClockLogic))
-		set(cb("FPRF"), nj(ca.FPRFReads, k.RFRead, seconds)+nj(ca.FPRFWrites, k.RFWrite, seconds)+
-			m.clock(cb("FPRF"), k.ClockLogic))
+	for cl := range delta.Cluster {
+		ca := &delta.Cluster[cl]
+		c := m.clusterTerm(cl)
+		add(out, c.irf, nj(ca.IRFReads, k.RFRead, seconds)+nj(ca.IRFWrites, k.RFWrite, seconds)+
+			c.irf.clock)
+		add(out, c.fprf, nj(ca.FPRFReads, k.RFRead, seconds)+nj(ca.FPRFWrites, k.RFWrite, seconds)+
+			c.fprf.clock)
 		// Schedulers: IS gets the integer queue, FPS the FP queue, CS the
 		// copy queue; the memory queue's scheduling energy is charged to
 		// the MOB block along with disambiguation activity.
 		sched := func(q int) float64 {
 			return nj(ca.Queue[q], k.QueueOp, seconds) + nj(ca.Issues[q], k.IssueOp, seconds)
 		}
-		set(cb("IS"), sched(0)+m.clock(cb("IS"), k.ClockLogic))
-		set(cb("FPS"), sched(1)+m.clock(cb("FPS"), k.ClockLogic))
-		set(cb("CS"), sched(2)+m.clock(cb("CS"), k.ClockLogic))
-		set(cb("MOB"), sched(3)+nj(ca.MOB, k.MOBOp, seconds)+
-			m.clock(cb("MOB"), k.ClockLogic))
-		set(cb("IFU"), nj(ca.IntFUOps, k.IntFUOp, seconds)+nj(ca.AgenOps, k.AgenOp, seconds)+
-			m.clock(cb("IFU"), k.ClockLogic))
-		set(cb("FPFU"), nj(ca.FPFUOps, k.FPFUOp, seconds)+m.clock(cb("FPFU"), k.ClockLogic))
-		set(cb("DL1"), nj(ca.DL1, k.DL1Access, seconds)+m.clock(cb("DL1"), k.ClockSRAM))
-		set(cb("DTLB"), nj(ca.DTLB, k.DTLBOp, seconds)+m.clock(cb("DTLB"), k.ClockSRAM))
+		add(out, c.is, sched(0)+c.is.clock)
+		add(out, c.fps, sched(1)+c.fps.clock)
+		add(out, c.cs, sched(2)+c.cs.clock)
+		add(out, c.mob, sched(3)+nj(ca.MOB, k.MOBOp, seconds)+c.mob.clock)
+		add(out, c.ifu, nj(ca.IntFUOps, k.IntFUOp, seconds)+nj(ca.AgenOps, k.AgenOp, seconds)+
+			c.ifu.clock)
+		add(out, c.fpfu, nj(ca.FPFUOps, k.FPFUOp, seconds)+c.fpfu.clock)
+		add(out, c.dl1, nj(ca.DL1, k.DL1Access, seconds)+c.dl1.clock)
+		add(out, c.dtlb, nj(ca.DTLB, k.DTLBOp, seconds)+c.dtlb.clock)
 	}
 	return out
 }
 
-func (m *Model) clock(name string, density float64) float64 {
-	i := m.fp.Index(name)
-	if i < 0 {
-		return 0
+func ratPartName(p int) string { return floorplan.RATPart(p) }
+func robPartName(p int) string { return floorplan.ROBPart(p) }
+
+// tcTerm returns the resolved term for trace-cache bank b, falling back
+// to a live lookup for banks beyond the configured count (only possible
+// with a hand-built Activity wider than the configuration).
+func (m *Model) tcTerm(b int) blockTerm {
+	if b < len(m.tc) {
+		return m.tc[b]
 	}
-	return density * m.fp.Blocks[i].Area()
+	return m.resolve(floorplan.TCBank(b), m.k.ClockSRAM)
+}
+
+// partTerm returns the resolved RAT/ROB term for a frontend partition,
+// with the same out-of-range fallback as tcTerm.
+func (m *Model) partTerm(table []blockTerm, p int, name func(int) string) blockTerm {
+	if p < len(table) {
+		return table[p]
+	}
+	if !m.cfg.Distributed() && len(table) > 0 {
+		return table[0] // centralized: every partition maps to the one block
+	}
+	return m.resolve(name(p), m.k.ClockLogic)
+}
+
+// clusterTerm returns the resolved terms of cluster cl, with the same
+// out-of-range fallback as tcTerm.
+func (m *Model) clusterTerm(cl int) *clusterTerms {
+	if cl < len(m.cl) {
+		return &m.cl[cl]
+	}
+	t := m.resolveCluster(cl)
+	return &t
 }
 
 // Leakage computes per-block leakage power (W) at the given block
 // temperatures: 30% of the nominal dynamic power at 45°C, doubling every
 // LeakDoubleDeg °C (the exponential dependence of §2.1).  Gated
 // trace-cache banks leak nothing (Vdd gating cuts the supply).
+//
+// Leakage allocates its result; the hot path uses LeakageInto.
 func (m *Model) Leakage(temps []float64, tcEnabled []bool) []float64 {
-	out := make([]float64, len(m.fp.Blocks))
-	for i, b := range m.fp.Blocks {
-		if floorplan.IsTraceCache(b.Name) {
-			bank := int(b.Name[len(b.Name)-1] - '0')
-			if bank < len(tcEnabled) && !tcEnabled[bank] {
-				continue
-			}
+	return m.LeakageInto(temps, tcEnabled, make([]float64, len(m.fp.Blocks)))
+}
+
+// LeakageInto is Leakage writing into caller-provided scratch: out is
+// zeroed, filled, and returned.  len(out) must equal the floorplan's
+// block count.
+func (m *Model) LeakageInto(temps []float64, tcEnabled []bool, out []float64) []float64 {
+	if len(out) != len(m.fp.Blocks) {
+		panic(fmt.Sprintf("power: LeakageInto scratch has %d blocks, want %d", len(out), len(m.fp.Blocks)))
+	}
+	for i := range out {
+		out[i] = 0
+		if bank := m.leakBank[i]; bank >= 0 && bank < len(tcEnabled) && !tcEnabled[bank] {
+			continue
 		}
 		t := temps[i]
 		if t > 160 {
@@ -267,9 +427,13 @@ func Total(p []float64) float64 {
 
 // Add returns the element-wise sum of two power vectors.
 func Add(a, b []float64) []float64 {
-	out := make([]float64, len(a))
+	return AddInto(make([]float64, len(a)), a, b)
+}
+
+// AddInto writes the element-wise sum of a and b into dst and returns it.
+func AddInto(dst, a, b []float64) []float64 {
 	for i := range a {
-		out[i] = a[i] + b[i]
+		dst[i] = a[i] + b[i]
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/floorplan"
+	"repro/internal/power"
+	"repro/internal/thermal"
+	"repro/internal/workload"
+)
+
+// TestIntervalPipelineZeroAlloc pins the tentpole property of the
+// scratch-buffer rewrite: one full interval of the power/thermal
+// pipeline — activity snapshot + delta, dynamic power, leakage, power
+// sum, thermal step, temperature copy — performs zero heap allocations
+// in steady state.
+func TestIntervalPipelineZeroAlloc(t *testing.T) {
+	cfg := core.DefaultConfig().WithDistributedFrontend(2).WithBankHopping().WithBiasedMapping()
+	prof, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	proc := core.New(cfg, workload.NewGenerator(prof, 500_000))
+	fp := floorplan.New(floorplan.Config{
+		TCBanks:     cfg.TC.Banks,
+		Distributed: cfg.Distributed(),
+		Partitions:  cfg.Frontends,
+		Clusters:    cfg.Clusters,
+	})
+	pm := power.New(cfg, fp, power.DefaultConstants())
+	tm := thermal.New(fp, thermal.DefaultParams())
+
+	proc.RunCycles(30_000) // populate every structure
+
+	n := len(fp.Blocks)
+	var cur, prev, delta core.Activity
+	proc.ActivityInto(&prev)
+	dyn := make([]float64, n)
+	leak := make([]float64, n)
+	p := make([]float64, n)
+	temps := tm.Temps()
+	enabled := make([]bool, cfg.TC.Banks)
+	for b := range enabled {
+		enabled[b] = proc.TraceCache().Enabled(b)
+	}
+	pm.SetNominal(pm.DynamicInto(&prev, enabled, dyn))
+
+	allocs := testing.AllocsPerRun(100, func() {
+		proc.ActivityInto(&cur)
+		cur.SubInto(&prev, &delta)
+		cur, prev = prev, cur
+		pm.DynamicInto(&delta, enabled, dyn)
+		pm.LeakageInto(temps, enabled, leak)
+		power.AddInto(p, dyn, leak)
+		tm.Step(p, 1e-3)
+		tm.TempsInto(temps)
+	})
+	if allocs != 0 {
+		t.Errorf("interval pipeline allocates %.1f times per interval, want 0", allocs)
+	}
+}
+
+// TestCycleLoopSteadyStateAllocs pins the cycle loop itself: once the
+// in-flight structures reach steady state, advancing the machine
+// thousands of cycles must not grow any of them.
+func TestCycleLoopSteadyStateAllocs(t *testing.T) {
+	cfg := core.DefaultConfig().WithDistributedFrontend(2).WithBankHopping()
+	prof, ok := workload.ByName("gzip")
+	if !ok {
+		t.Fatal("gzip profile missing")
+	}
+	proc := core.New(cfg, workload.NewGenerator(prof, 2_000_000))
+	proc.RunCycles(50_000) // reach steady state
+
+	allocs := testing.AllocsPerRun(20, func() {
+		proc.RunCycles(2_000)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state cycle loop allocates %.1f times per 2000 cycles, want 0", allocs)
+	}
+}

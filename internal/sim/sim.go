@@ -159,11 +159,24 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 
 	res := &Result{Config: cfg, Bench: prof.Name, Floorplan: fp}
 
+	// Scratch owned by the loop: two cumulative Activity snapshots that
+	// flip roles each interval, one delta, and the per-block power and
+	// temperature vectors.  The steady-state pipeline below allocates
+	// nothing per interval.
+	nBlocks := len(fp.Blocks)
+	var cur, prev, delta core.Activity
+	dyn := make([]float64, nBlocks)
+	leak := make([]float64, nBlocks)
+	p := make([]float64, nBlocks)
+	temps := make([]float64, nBlocks)
+	enabled := make([]bool, cfg.TC.Banks)
+	bankT := make([]float64, cfg.TC.Banks)
+
 	// ---- Phase 1: profiling for nominal power (hopping rotates, the
 	// mapping stays balanced: there are no converged temperatures yet).
 	warmupTarget := uint64(float64(opt.WarmupOps) * prof.LengthScaleOrOne())
 	start := proc.Activity()
-	enabled := tcEnabled(proc, cfg)
+	tcEnabledInto(proc, enabled)
 	// Finer chunks than the full interval so short benchmark slices are
 	// not consumed entirely inside the profiling phase; hopping still
 	// rotates once per full interval's worth of cycles.
@@ -179,7 +192,7 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 			proc.TraceCache().Reconfigure(nil)
 			sinceHop = 0
 		}
-		enabled = tcEnabled(proc, cfg)
+		tcEnabledInto(proc, enabled)
 	}
 	warmAct := proc.Activity().Sub(start)
 	res.WarmCycles = warmAct.Cycles
@@ -188,7 +201,7 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 	res.Nominal = nominal
 
 	// ---- Phase 2: steady-state warm start with leakage convergence.
-	temps := converge(tm, pm, nominal, enabled)
+	temps = converge(tm, pm, nominal, enabled, temps)
 
 	var controller *dtm.Controller
 	if opt.DTM != nil {
@@ -199,7 +212,11 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 	series := metrics.NewSeries(fp.Names(), areas(fp), tm.Ambient())
 	avgPower := make([]float64, len(fp.Blocks))
 	intervals := 0
-	prev := proc.Activity()
+	proc.ActivityInto(&prev)
+	tcIdx := make([]int, cfg.TC.Banks)
+	for b := range tcIdx {
+		tcIdx[b] = fp.Index(floorplan.TCBank(b))
+	}
 	measStartCycles := proc.Cycle()
 	measStartOps := proc.Stats.Committed
 	finalize := func() {
@@ -223,20 +240,20 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 	}
 	for !proc.Done() {
 		proc.RunCycles(opt.IntervalCycles)
-		cur := proc.Activity()
-		delta := cur.Sub(prev)
-		prev = cur
+		proc.ActivityInto(&cur)
+		cur.SubInto(&prev, &delta)
+		cur, prev = prev, cur // flip: prev now holds this interval's snapshot
 		if delta.Cycles == 0 {
 			break
 		}
-		enabled = tcEnabled(proc, cfg)
-		dyn := pm.Dynamic(delta, enabled)
-		leak := pm.Leakage(temps, enabled)
-		p := power.Add(dyn, leak)
+		tcEnabledInto(proc, enabled)
+		pm.DynamicInto(&delta, enabled, dyn)
+		pm.LeakageInto(temps, enabled, leak)
+		power.AddInto(p, dyn, leak)
 		// Scale the thermal step when the final interval is short.
 		dt := opt.IntervalSeconds * float64(delta.Cycles) / float64(opt.IntervalCycles)
 		tm.Step(p, dt)
-		temps = tm.Temps()
+		tm.TempsInto(temps)
 		series.Add(temps)
 		for i, w := range p {
 			avgPower[i] += w
@@ -244,7 +261,7 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 		intervals++
 		// End-of-interval reconfiguration: hop the gated bank and/or
 		// re-bias the mapping from the per-bank sensor temperatures.
-		proc.TraceCache().Reconfigure(bankTemps(fp, temps, cfg.TC.Banks))
+		proc.TraceCache().Reconfigure(bankTempsInto(tcIdx, temps, bankT))
 		var dutyNum, dutyDen int
 		var throttled bool
 		if controller != nil {
@@ -284,16 +301,19 @@ func RunHooked(cfg core.Config, prof workload.Profile, opt Options, hook Hook) (
 
 // converge iterates steady state <-> leakage until the temperatures
 // settle (the paper: "until temperature converges or reaches the
-// emergency limit").
-func converge(tm *thermal.Model, pm *power.Model, nominal []float64, enabled []bool) []float64 {
-	temps := make([]float64, tm.Blocks())
+// emergency limit").  temps is caller scratch; the converged block
+// temperatures are returned in it.
+func converge(tm *thermal.Model, pm *power.Model, nominal []float64, enabled []bool, temps []float64) []float64 {
 	for i := range temps {
 		temps[i] = tm.Ambient()
 	}
+	leak := make([]float64, len(temps))
+	p := make([]float64, len(temps))
+	next := make([]float64, len(temps))
 	for iter := 0; iter < 40; iter++ {
-		p := power.Add(nominal, pm.Leakage(temps, enabled))
+		power.AddInto(p, nominal, pm.LeakageInto(temps, enabled, leak))
 		tm.SteadyState(p)
-		next := tm.Temps()
+		tm.TempsInto(next)
 		maxD := 0.0
 		for i := range next {
 			d := next[i] - temps[i]
@@ -304,7 +324,7 @@ func converge(tm *thermal.Model, pm *power.Model, nominal []float64, enabled []b
 				maxD = d
 			}
 		}
-		temps = next
+		temps, next = next, temps
 		if maxD < 0.01 {
 			break
 		}
@@ -312,22 +332,21 @@ func converge(tm *thermal.Model, pm *power.Model, nominal []float64, enabled []b
 	return temps
 }
 
-// tcEnabled snapshots which trace-cache banks are powered.
-func tcEnabled(proc *core.Processor, cfg core.Config) []bool {
-	out := make([]bool, cfg.TC.Banks)
+// tcEnabledInto snapshots which trace-cache banks are powered.
+func tcEnabledInto(proc *core.Processor, out []bool) {
 	for b := range out {
 		out[b] = proc.TraceCache().Enabled(b)
 	}
-	return out
 }
 
-// bankTemps extracts per-bank temperatures (the paper's per-bank thermal
-// sensors, §3.2.2).
-func bankTemps(fp *floorplan.Floorplan, temps []float64, banks int) []float64 {
-	out := make([]float64, banks)
-	for b := 0; b < banks; b++ {
-		if i := fp.Index(floorplan.TCBank(b)); i >= 0 {
+// bankTempsInto extracts per-bank temperatures (the paper's per-bank
+// thermal sensors, §3.2.2) using the precomputed bank block indices.
+func bankTempsInto(tcIdx []int, temps, out []float64) []float64 {
+	for b, i := range tcIdx {
+		if i >= 0 {
 			out[b] = temps[i]
+		} else {
+			out[b] = 0
 		}
 	}
 	return out

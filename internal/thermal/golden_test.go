@@ -1,0 +1,45 @@
+package thermal
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/floorplan"
+	"repro/internal/goldentest"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+func allTemps(m *Model) []float64 {
+	out := m.Temps()
+	return append(out, m.SpreaderTemp(), m.SinkTemp())
+}
+
+// TestGoldenStepSteadyState pins the exact bits of the RC network's
+// trajectory: a steady-state warm start followed by a sequence of Step
+// calls (full and fractional intervals) under varying power.
+func TestGoldenStepSteadyState(t *testing.T) {
+	fp := floorplan.New(floorplan.Config{TCBanks: 3, Distributed: true, Partitions: 2, Clusters: 4})
+	m := New(fp, DefaultParams())
+	n := m.Blocks()
+	power := make([]float64, n)
+	for i := range power {
+		power[i] = 0.3 + 0.07*float64(i%11)
+	}
+	m.SteadyState(power)
+	got := map[string][]string{"steady": goldentest.Vec(allTemps(m))}
+	for s := 0; s < 5; s++ {
+		for i := range power {
+			power[i] = 0.25 + 0.06*float64((i+3*s)%13)
+		}
+		dt := 1e-3
+		if s == 4 {
+			dt = 0.37e-3 // short final interval
+		}
+		m.Step(power, dt)
+		got[fmt.Sprintf("step%d", s)] = goldentest.Vec(allTemps(m))
+	}
+	goldentest.Check(t, filepath.Join("testdata", "golden_trajectory.json"), got, *updateGolden)
+}

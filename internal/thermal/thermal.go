@@ -73,6 +73,16 @@ type Model struct {
 	gLat   []float64 // conductance per adjacency
 	temps  []float64 // length n+2
 	minTau float64
+
+	// Persistent scratch so the per-interval entry points allocate
+	// nothing: the Step derivative vector and the steady-state solver's
+	// matrix.  The conductance part of the steady-state system depends
+	// only on the geometry, so it is assembled once (ssBase) and copied
+	// into the working matrix per solve.
+	dTdt      []float64
+	ssBase    []float64   // flat (n+2) x (n+3) augmented matrix template
+	ssScratch []float64   // working copy of ssBase
+	ssRows    [][]float64 // row headers into ssScratch (reset per solve)
 }
 
 // New builds the thermal model, with all nodes at ambient.
@@ -120,7 +130,38 @@ func New(fp *floorplan.Floorplan, p Params) *Model {
 			}
 		}
 	}
+	m.dTdt = make([]float64, n+2)
+	m.buildSteadyBase()
 	return m
+}
+
+// buildSteadyBase assembles the geometry-dependent part of the
+// steady-state system G·T = P once: every conductance entry and the
+// constant ambient term of the sink row.  Per-block powers are the only
+// per-solve inputs.
+func (m *Model) buildSteadyBase() {
+	n := m.n
+	size := n + 2
+	stride := size + 1
+	m.ssBase = make([]float64, size*stride)
+	m.ssScratch = make([]float64, size*stride)
+	m.ssRows = make([][]float64, size)
+	at := func(i, j int) *float64 { return &m.ssBase[i*stride+j] }
+	addG := func(i, j int, g float64) {
+		*at(i, i) += g
+		*at(j, j) += g
+		*at(i, j) -= g
+		*at(j, i) -= g
+	}
+	for i := 0; i < n; i++ {
+		addG(i, n, m.gVert[i])
+	}
+	for i, ad := range m.adj {
+		addG(ad.A, ad.B, m.gLat[i])
+	}
+	addG(n, n+1, 1/m.p.SpreaderR)
+	*at(n+1, n+1) += 1 / m.p.SinkR
+	*at(n+1, size) += m.p.Ambient / m.p.SinkR
 }
 
 // Blocks returns the number of block nodes.
@@ -131,7 +172,15 @@ func (m *Model) Temp(i int) float64 { return m.temps[i] }
 
 // Temps returns the block temperatures (°C); the slice is a copy.
 func (m *Model) Temps() []float64 {
-	out := make([]float64, m.n)
+	return m.TempsInto(make([]float64, m.n))
+}
+
+// TempsInto copies the block temperatures (°C) into out and returns it.
+// len(out) must equal Blocks().
+func (m *Model) TempsInto(out []float64) []float64 {
+	if len(out) != m.n {
+		panic(fmt.Sprintf("thermal: TempsInto scratch has %d blocks, want %d", len(out), m.n))
+	}
 	copy(out, m.temps[:m.n])
 	return out
 }
@@ -158,18 +207,33 @@ func (m *Model) SetTemps(block []float64, spreader, sink float64) {
 	m.temps[m.n+1] = sink
 }
 
+// maxSubsteps bounds the explicit-integration subdivision of one Step
+// call.  A degenerate floorplan (a sliver block with near-zero area, or
+// extreme parameter overrides) can drive minTau toward zero; without the
+// cap the inner loop would silently explode to billions of iterations.
+// At the default parameters a 1 ms interval takes a few hundred substeps,
+// so the cap is far outside the calibrated regime.
+const maxSubsteps = 1_000_000
+
 // Step advances the network by dt seconds with the given per-block power
 // (W).  It subdivides dt to honour the explicit-integration stability
-// bound.
+// bound, capped at maxSubsteps (accuracy degrades past the cap rather
+// than the loop running away).
 func (m *Model) Step(power []float64, dt float64) {
 	if len(power) != m.n {
 		panic(fmt.Sprintf("thermal: Step with %d powers, want %d blocks", len(power), m.n))
 	}
 	sub := m.minTau / 3
-	steps := int(dt/sub) + 1
+	steps := 1
+	if sub > 0 && dt > sub { // guard: degenerate minTau (0, NaN) falls through to 1
+		steps = int(dt/sub) + 1
+		if steps > maxSubsteps || steps < 1 { // < 1: int overflow on huge dt/sub
+			steps = maxSubsteps
+		}
+	}
 	h := dt / float64(steps)
 	n := m.n
-	dTdt := make([]float64, n+2)
+	dTdt := m.dTdt
 	for s := 0; s < steps; s++ {
 		for i := range dTdt {
 			dTdt[i] = 0
@@ -207,27 +271,18 @@ func (m *Model) SteadyState(power []float64) {
 	}
 	n := m.n
 	size := n + 2
-	// Build G·T = P with ambient folded into the sink row.
-	a := make([][]float64, size)
-	for i := range a {
-		a[i] = make([]float64, size+1)
-	}
-	addG := func(i, j int, g float64) {
-		a[i][i] += g
-		a[j][j] += g
-		a[i][j] -= g
-		a[j][i] -= g
+	stride := size + 1
+	// G·T = P with ambient folded into the sink row: the conductance
+	// structure is geometry-only and was assembled once in New; per call
+	// only the right-hand side changes.
+	copy(m.ssScratch, m.ssBase)
+	a := m.ssRows
+	for i := 0; i < size; i++ {
+		a[i] = m.ssScratch[i*stride : (i+1)*stride]
 	}
 	for i := 0; i < n; i++ {
-		addG(i, n, m.gVert[i])
 		a[i][size] = power[i]
 	}
-	for i, ad := range m.adj {
-		addG(ad.A, ad.B, m.gLat[i])
-	}
-	addG(n, n+1, 1/m.p.SpreaderR)
-	a[n+1][n+1] += 1 / m.p.SinkR
-	a[n+1][size] += m.p.Ambient / m.p.SinkR
 
 	solveInPlace(a)
 	for i := 0; i < size; i++ {

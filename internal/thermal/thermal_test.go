@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/floorplan"
 )
@@ -233,5 +234,42 @@ func TestQuickLinearity(t *testing.T) {
 		if r1 > 1e-9 && math.Abs(r2/r1-2) > 1e-6 {
 			t.Fatalf("block %d: rises %v, %v not linear", i, r1, r2)
 		}
+	}
+}
+
+// A degenerate parameter set (near-zero thermal capacitance drives the
+// stability time constant toward zero) must not explode the Step
+// subdivision loop: substeps are capped at maxSubsteps.
+func TestStepDegenerateTauIsBounded(t *testing.T) {
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	p := DefaultParams()
+	p.CapPerMM2 = 1e-30 // minTau ~ 1e-29 s: uncapped, 1 ms would need ~1e25 substeps
+	m := New(fp, p)
+	power := make([]float64, m.Blocks())
+	for i := range power {
+		power[i] = 1.0
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Step(power, 1e-3)
+		close(done)
+	}()
+	select {
+	case <-done:
+		// The integration is necessarily inaccurate this far past the
+		// stability bound; the cap only guarantees the loop terminates.
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Step did not return: substep cap not applied")
+	}
+}
+
+// The cap must leave the calibrated regime untouched: at DefaultParams a
+// full 1 ms interval subdivides far below maxSubsteps.
+func TestStepDefaultParamsFarFromCap(t *testing.T) {
+	fp := floorplan.New(floorplan.Config{TCBanks: 2, Clusters: 4})
+	m := New(fp, DefaultParams())
+	steps := int(1e-3/(m.minTau/3)) + 1
+	if steps >= maxSubsteps/100 {
+		t.Fatalf("default-parameter substeps %d too close to cap %d", steps, maxSubsteps)
 	}
 }

@@ -1,0 +1,63 @@
+package frontendsim
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/goldentest"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenRequests cover the baseline and the full paper technique stack
+// (distributed frontend + bank hopping + biased mapping + DTM), so every
+// branch of the power/thermal interval pipeline is pinned end to end.
+func goldenRequests() map[string]Request {
+	return map[string]Request{
+		"baseline_gzip": {
+			Benchmark:  "gzip",
+			WarmupOps:  30_000,
+			MeasureOps: 60_000,
+		},
+		"full_stack_mcf": {
+			Benchmark:     "mcf",
+			Frontends:     2,
+			BankHopping:   true,
+			BiasedMapping: true,
+			DTM:           true,
+			WarmupOps:     30_000,
+			MeasureOps:    60_000,
+		},
+	}
+}
+
+// TestGoldenEngineRun asserts that Engine.Run produces byte-identical
+// JSON results (and stable canonical request keys) across the
+// scratch-buffer rewrite of the interval pipeline.
+func TestGoldenEngineRun(t *testing.T) {
+	eng := New()
+	for name, req := range goldenRequests() {
+		t.Run(name, func(t *testing.T) {
+			key, err := eng.RequestKey(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := eng.Run(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			blob := []byte("key:" + key + "\n")
+			blob = append(blob, body...)
+			blob = append(blob, '\n')
+			path := filepath.Join("testdata", "golden_"+name+".jsonl")
+			goldentest.CheckBytes(t, path, blob, *updateGolden)
+		})
+	}
+}
