@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench docs-check
 
 # The full tier-1 gate: formatting, vet, build, tests (race-enabled —
-# the scheduler/simd coalescing paths are explicitly concurrent).
-check: fmt vet build race
+# the scheduler/simd coalescing paths are explicitly concurrent), docs.
+check: fmt vet build race docs-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -21,6 +21,25 @@ test:
 
 race:
 	$(GO) test -race -timeout 30m ./...
+
+# Docs gate: the three docs exist and are linked from the README, every
+# relative markdown link in README + docs/ resolves, and gofmt/vet cover
+# the result-store package the docs describe.
+docs-check:
+	@for f in docs/ARCHITECTURE.md docs/API.md docs/OPERATIONS.md; do \
+		test -f "$$f" || { echo "docs-check: missing $$f"; exit 1; }; \
+		grep -q "$$f" README.md || { echo "docs-check: README.md does not link $$f"; exit 1; }; \
+	done
+	@fail=0; for f in README.md docs/*.md; do \
+		dir=$$(dirname "$$f"); \
+		for link in $$(grep -oE '\]\([^)[:space:]]+\)' "$$f" | sed -e 's/^](//' -e 's/)$$//' -e 's/#.*//'); do \
+			case "$$link" in http://*|https://*|mailto:*|"") continue ;; esac; \
+			test -e "$$dir/$$link" || { echo "docs-check: $$f links missing $$link"; fail=1; }; \
+		done; \
+	done; exit $$fail
+	@out="$$(gofmt -l pkg/resultstore)"; if [ -n "$$out" ]; then \
+		echo "docs-check: gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./pkg/resultstore/...
 
 # Tier-1 benchmarks with allocation accounting; raw output passes
 # through and the parsed results land in BENCH_results.json.

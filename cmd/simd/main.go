@@ -1,12 +1,20 @@
 // Command simd serves thermal simulations over HTTP: a thin
 // request/response frontend (in the spirit of Thanos's query-frontend)
-// over the public frontendsim Engine, with an in-memory LRU response
-// cache keyed on the canonical request hash.
+// over the public frontendsim Engine, with a pluggable response store
+// keyed on the canonical request hash.
 //
 // Usage:
 //
 //	simd [-addr :8723] [-cache 512] [-workers N]
+//	     [-store memory|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
 //	     [-warmup N] [-measure N] [-interval N]
+//
+// Store backends (-store):
+//
+//	memory  in-process LRU of -cache entries; dies with the process (default)
+//	disk    crash-safe segment files under -store-dir; survives restarts
+//	tiered  memory LRU in front of the disk store, write-through — the
+//	        hot set answers from RAM, everything survives a restart
 //
 // Endpoints:
 //
@@ -14,11 +22,12 @@
 //	POST /v1/simulations/stream JSON request -> NDJSON per-interval stream
 //	POST /v1/suites             whole-suite run (single-node mode; see simsched)
 //	GET  /v1/benchmarks         available benchmark profiles
-//	GET  /v1/cache/stats        response-cache counters
+//	GET  /v1/cache/stats        per-tier response-store counters
 //	GET  /healthz               liveness
 //
 // Example:
 //
+//	simd -store tiered -store-dir /var/lib/simd
 //	curl -s localhost:8723/v1/simulations -d '{"benchmark":"gzip","frontends":2,"bank_hopping":true}'
 package main
 
@@ -34,18 +43,50 @@ import (
 
 	"repro/internal/simd"
 	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
 )
+
+// buildStore assembles the response store selected by the flags.
+func buildStore(kind, dir string, maxBytes int64, cacheSize int) (resultstore.Store, error) {
+	switch kind {
+	case "memory":
+		return resultstore.NewMemory(cacheSize), nil
+	case "disk", "tiered":
+		if dir == "" {
+			return nil, fmt.Errorf("simd: -store=%s requires -store-dir", kind)
+		}
+		disk, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: dir, MaxBytes: maxBytes})
+		if err != nil {
+			return nil, err
+		}
+		if kind == "disk" {
+			return disk, nil
+		}
+		return resultstore.NewTiered(resultstore.NewMemory(cacheSize), disk), nil
+	}
+	return nil, fmt.Errorf("simd: unknown -store %q (memory|disk|tiered)", kind)
+}
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8723", "listen address")
-		cacheSize = flag.Int("cache", 512, "LRU response cache entries (0 disables)")
+		cacheSize = flag.Int("cache", 512, "memory-tier response entries (0 disables the memory tier)")
+		storeKind = flag.String("store", "memory", "response store backend: memory|disk|tiered")
+		storeDir  = flag.String("store-dir", "", "disk-store segment directory (required for -store=disk|tiered)")
+		storeMax  = flag.Int64("store-max-bytes", resultstore.DefaultMaxBytes, "disk-store total size cap in bytes")
 		workers   = flag.Int("workers", 0, "max concurrent simulations (default: GOMAXPROCS)")
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
 	)
 	flag.Parse()
+
+	store, err := buildStore(*storeKind, *storeDir, *storeMax, *cacheSize)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer store.Close()
 
 	eng := frontendsim.New(
 		frontendsim.WithWarmupOps(*warmup),
@@ -55,7 +96,7 @@ func main() {
 	)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           simd.NewServer(eng, *cacheSize),
+		Handler:           simd.NewServerWithStore(eng, store),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -68,7 +109,8 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Fprintf(os.Stderr, "simd: listening on %s (%s)\n", *addr, simd.Describe())
+	fmt.Fprintf(os.Stderr, "simd: listening on %s, %s store (%s)\n",
+		*addr, *storeKind, simd.Describe())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -6,11 +6,16 @@
 // /v1/suites response is byte-identical to a serial in-process
 // Engine.RunSuite.
 //
+// A scheduler-tier response cache (Thanos query-frontend results
+// cache) answers repeated suites without dispatching to any backend:
+// every unique shard already in the cache is served at this tier, and
+// the suite response carries X-Cache: HIT|PARTIAL|MISS accordingly.
+//
 // Usage:
 //
 //	simsched -backends http://sim-1:8723,http://sim-2:8723 [-addr :8724]
-//	         [-replicas 128] [-retries -1] [-workers N] [-timeout 10m]
-//	         [-warmup N] [-measure N] [-interval N]
+//	         [-replicas 128] [-retries -1] [-cache 512] [-workers N]
+//	         [-timeout 10m] [-warmup N] [-measure N] [-interval N]
 //
 // The -warmup/-measure/-interval defaults must match the backends' simd
 // flags: the scheduler canonicalizes requests under its own engine
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
 	"repro/pkg/scheduler"
 )
 
@@ -44,6 +50,7 @@ func main() {
 		backends = flag.String("backends", "", "comma-separated simd base URLs (required)")
 		replicas = flag.Int("replicas", 0, "virtual ring points per backend (0 = default)")
 		retries  = flag.Int("retries", 0, "failover nodes tried after the home backend (0 = all remaining, -1 = none)")
+		cache    = flag.Int("cache", 512, "scheduler-tier response cache entries (0 disables)")
 		workers  = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
 		warmup   = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default; match simd)")
@@ -69,11 +76,16 @@ func main() {
 		frontendsim.WithIntervalCycles(*interval),
 		frontendsim.WithWorkers(*workers),
 	)
+	var store resultstore.Store
+	if *cache > 0 {
+		store = resultstore.NewMemory(*cache)
+	}
 	sched, err := scheduler.New(eng, scheduler.Config{
 		Backends:   nodes,
 		Replicas:   *replicas,
 		Retries:    *retries,
 		HTTPClient: &http.Client{Timeout: *timeout},
+		Cache:      store,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

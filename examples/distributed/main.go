@@ -1,12 +1,22 @@
 // Distributed deep-dive, both senses of the word: the paper's §3.1
 // distributed rename & commit frontend, run through the system's own
 // distributed serving tier — three in-process simd backends behind the
-// consistent-hashing suite scheduler (pkg/scheduler, cmd/simsched).
+// consistent-hashing suite scheduler (pkg/scheduler, cmd/simsched),
+// sharing one tiered result store (pkg/resultstore: memory in front of
+// crash-safe disk segments, the stand-in for a memcached/Thanos-style
+// shared results cache).
 //
-// The example prints the shard assignment, runs one suite centralized vs
-// distributed-frontend, and shows that the scheduler's aggregate is
-// byte-identical to a serial in-process Engine.RunSuite while spreading
-// the simulations over the backend ring.
+// The example runs one suite centralized vs distributed-frontend and
+// shows the scheduler's aggregate byte-identical to a serial in-process
+// Engine.RunSuite — then breaks things on purpose:
+//
+//  1. a backend is killed mid-demo and its keys are served by the
+//     surviving replicas straight from the shared store (failover with
+//     zero recomputation),
+//  2. a scheduler-tier response cache answers a repeated suite without
+//     dispatching to any backend at all, and
+//  3. the whole fleet "restarts" — fresh engines, fresh memory — and the
+//     reopened disk tier still serves every key.
 package main
 
 import (
@@ -16,9 +26,11 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/simd"
 	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
 	"repro/pkg/scheduler"
 )
 
@@ -27,31 +39,79 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// engineRuns counts actual simulations across every backend engine —
+// the ground truth for "served from the store, not recomputed".
+var engineRuns atomic.Int64
+
+func backendOpts() []frontendsim.Option {
+	return []frontendsim.Option{
+		frontendsim.WithWarmupOps(40_000),
+		frontendsim.WithMeasureOps(100_000),
+		frontendsim.WithObserver(frontendsim.ObserverFunc(func(s frontendsim.Snapshot) {
+			if s.Interval == 0 {
+				engineRuns.Add(1)
+			}
+		})),
+	}
+}
+
+// newBackends starts n in-process simd replicas sharing one result
+// store; in production each would be its own `simd -store tiered
+// -store-dir ...` process in front of a shared cache tier.
+func newBackends(n int, store resultstore.Store) []*httptest.Server {
+	out := make([]*httptest.Server, n)
+	for i := range out {
+		out[i] = httptest.NewServer(simd.NewServerWithStore(frontendsim.New(backendOpts()...), store))
+	}
+	return out
+}
+
+func urls(backends []*httptest.Server) []string {
+	out := make([]string, len(backends))
+	for i, b := range backends {
+		out[i] = b.URL
+	}
+	return out
+}
+
+func suite(frontends int) frontendsim.SuiteRequest {
+	return frontendsim.SuiteRequest{
+		Benchmarks: []string{"gzip", "gcc", "mcf", "crafty", "parser", "swim"},
+		Request:    frontendsim.Request{Frontends: frontends},
+	}
+}
+
 func main() {
+	ctx := context.Background()
 	opts := []frontendsim.Option{
 		frontendsim.WithWarmupOps(40_000),
 		frontendsim.WithMeasureOps(100_000),
 	}
 
-	// Three simd backends, in-process for the example; in production each
-	// would be its own `simd` replica (see cmd/simsched).
-	var nodes []string
-	for i := 0; i < 3; i++ {
-		srv := httptest.NewServer(simd.NewServer(frontendsim.New(opts...), 64))
-		defer srv.Close()
-		nodes = append(nodes, srv.URL)
-	}
-	eng := frontendsim.New(opts...)
-	sched, err := scheduler.New(eng, scheduler.Config{Backends: nodes})
+	// The shared result store: a memory LRU in front of crash-safe disk
+	// segments.  Every backend reads and writes the same store, so any
+	// replica can serve any other replica's results.
+	dir, err := os.MkdirTemp("", "resultstore-demo-")
 	if err != nil {
 		fatal(err)
 	}
+	defer os.RemoveAll(dir)
+	disk, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: dir})
+	if err != nil {
+		fatal(err)
+	}
+	shared := resultstore.NewTiered(resultstore.NewMemory(256), disk)
 
-	suite := func(frontends int) frontendsim.SuiteRequest {
-		return frontendsim.SuiteRequest{
-			Benchmarks: []string{"gzip", "gcc", "mcf", "crafty", "parser", "swim"},
-			Request:    frontendsim.Request{Frontends: frontends},
+	backends := newBackends(3, shared)
+	defer func() {
+		for _, b := range backends {
+			b.Close()
 		}
+	}()
+	eng := frontendsim.New(opts...)
+	sched, err := scheduler.New(eng, scheduler.Config{Backends: urls(backends)})
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Println("Suite sharding by canonical request key (consistent hashing):")
@@ -60,7 +120,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		for i, n := range nodes {
+		for i, n := range urls(backends) {
 			if sched.Ring().Node(key) == n {
 				fmt.Printf("  %-8s -> backend %d  (key %s…)\n", bench, i, key[:12])
 			}
@@ -68,7 +128,6 @@ func main() {
 	}
 	fmt.Println()
 
-	ctx := context.Background()
 	base, err := sched.RunSuite(ctx, suite(0))
 	if err != nil {
 		fatal(err)
@@ -100,7 +159,78 @@ func main() {
 	distJSON, _ := json.Marshal(dist)
 	serialJSON, _ := json.Marshal(serial)
 	fmt.Printf("scheduler result == serial Engine.RunSuite: %v\n", bytes.Equal(distJSON, serialJSON))
+	fmt.Printf("engine runs so far: %d (12 unique benchmark/config keys)\n\n", engineRuns.Load())
+
+	// --- Failure 1: kill a backend; its keys live in the shared store. ---
+	fmt.Println("Killing backend 0; its keys fail over to surviving replicas,")
+	fmt.Println("which answer from the shared result store without recomputing:")
+	backends[0].Close()
+	before := engineRuns.Load()
+	again, err := sched.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	againJSON, _ := json.Marshal(again)
 	st := sched.Stats()
-	fmt.Printf("scheduler stats: %d dispatched, %d retried, %d coalesced\n",
-		st.Dispatched, st.Retried, st.Coalesced)
+	fmt.Printf("  re-run after kill: byte-identical=%v, %d ring failovers, %d new engine runs\n\n",
+		bytes.Equal(againJSON, serialJSON), st.Retried, engineRuns.Load()-before)
+
+	// --- Failure 2 (the absence of one): the scheduler-tier cache. ---
+	// A scheduler with its own response cache answers a repeated suite
+	// at the frontend tier — zero dispatches, zero backend contact.
+	cachedSched, err := scheduler.New(eng, scheduler.Config{
+		Backends: urls(backends),
+		Cache:    resultstore.NewMemory(64),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if _, _, err := cachedSched.RunSuiteServed(ctx, suite(2)); err != nil {
+		fatal(err)
+	}
+	dispatchedBefore := cachedSched.Stats().Dispatched
+	_, served, err := cachedSched.RunSuiteServed(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("Scheduler-tier response cache (simsched -cache):")
+	fmt.Printf("  repeated suite: X-Cache=%s, %d/6 shards cached, %d new dispatches\n\n",
+		served.XCache(), served.Cached, cachedSched.Stats().Dispatched-dispatchedBefore)
+
+	// --- Failure 3: restart everything; only the disk segments remain. ---
+	fmt.Println("Restarting the fleet: fresh engines, fresh memory tier, reopened disk store:")
+	for _, b := range backends[1:] {
+		b.Close()
+	}
+	if err := shared.Close(); err != nil {
+		fatal(err)
+	}
+	disk2, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: dir})
+	if err != nil {
+		fatal(err)
+	}
+	reopened := resultstore.NewTiered(resultstore.NewMemory(256), disk2)
+	defer reopened.Close()
+	backends2 := newBackends(3, reopened)
+	defer func() {
+		for _, b := range backends2 {
+			b.Close()
+		}
+	}()
+	sched2, err := scheduler.New(eng, scheduler.Config{Backends: urls(backends2)})
+	if err != nil {
+		fatal(err)
+	}
+	before = engineRuns.Load()
+	rerun, err := sched2.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	rerunJSON, _ := json.Marshal(rerun)
+	fmt.Printf("  post-restart suite: byte-identical=%v, %d new engine runs\n",
+		bytes.Equal(rerunJSON, serialJSON), engineRuns.Load()-before)
+	for _, tier := range reopened.Stats() {
+		fmt.Printf("  %-6s tier: %d entries, %d hits, %d misses\n",
+			tier.Tier, tier.Entries, tier.Hits, tier.Misses)
+	}
 }

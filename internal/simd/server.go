@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/singleflight"
 	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
 )
 
 // Server is the HTTP API of the simulation service.
@@ -24,7 +25,7 @@ import (
 //	GET  /healthz               liveness
 type Server struct {
 	eng   *frontendsim.Engine
-	cache *lruCache
+	store resultstore.Store
 	mux   *http.ServeMux
 	// slots bounds concurrent simulations at the Engine's worker count;
 	// excess requests queue here (or give up when their context ends)
@@ -42,13 +43,22 @@ type Server struct {
 	coalesced atomic.Uint64
 }
 
-// NewServer builds a Server over eng with an LRU response cache of
-// cacheSize entries (cacheSize < 1 disables caching).  At most
+// NewServer builds a Server over eng with an in-memory LRU response
+// store of cacheSize entries (cacheSize < 1 disables caching).  At most
 // eng.Workers() simulations run concurrently.
 func NewServer(eng *frontendsim.Engine, cacheSize int) *Server {
+	return NewServerWithStore(eng, resultstore.NewMemory(cacheSize))
+}
+
+// NewServerWithStore builds a Server over eng serving its responses
+// through store (a disk-backed or tiered store makes cached results
+// survive restarts; a store shared across replicas lets one backend
+// serve a peer's keys).  The caller owns the store's lifecycle and
+// closes it after shutting the server down.
+func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store) *Server {
 	s := &Server{
 		eng:   eng,
-		cache: newLRUCache(cacheSize),
+		store: store,
 		mux:   http.NewServeMux(),
 		slots: make(chan struct{}, eng.Workers()),
 	}
@@ -113,19 +123,23 @@ func decodeRequest(r *http.Request) (frontendsim.Request, error) {
 }
 
 // simulate produces the marshalled response for one canonical request:
-// from the LRU cache when present, by joining an identical in-flight
-// simulation when one exists, and by running the simulation otherwise.
-// source reports which path served the body: "HIT", "COALESCED" or
-// "MISS".
+// from the response store when present, by joining an identical
+// in-flight simulation when one exists, and by running the simulation
+// otherwise.  source reports which path served the body: "HIT",
+// "COALESCED" or "MISS".  Store failures are served around: a Get error
+// falls through to the engine, a Set error only costs the next request
+// a recompute (both are visible in the store's error counters).
 func (s *Server) simulate(ctx context.Context, key string, req frontendsim.Request) (body []byte, source string, err error) {
-	if body, ok := s.cache.Get(key); ok {
+	if body, ok, _ := s.store.Get(ctx, key); ok {
 		return body, "HIT", nil
 	}
 	body, err, shared := s.flight.Do(ctx, key, func(runCtx context.Context) ([]byte, error) {
-		// Re-check the cache: a caller that raced a just-completed
+		// Re-check the store: a caller that raced a just-completed
 		// identical run starts a fresh execution (the flight entry is
-		// gone) but its response is already cached.
-		if body, ok := s.cache.peek(key); ok {
+		// gone) but its response is already stored.  The Peek keeps the
+		// re-check invisible in the stats (the top-level Get above
+		// already counted this request as a miss, and it reports MISS).
+		if body, ok, _ := resultstore.Peek(runCtx, s.store, key); ok {
 			return body, nil
 		}
 		if err := s.acquire(runCtx); err != nil {
@@ -141,7 +155,7 @@ func (s *Server) simulate(ctx context.Context, key string, req frontendsim.Reque
 			return nil, err
 		}
 		b = append(b, '\n')
-		s.cache.Add(key, b)
+		s.store.Set(runCtx, key, b)
 		return b, nil
 	})
 	if err != nil {
@@ -270,16 +284,19 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	}{Benchmarks: frontendsim.Benchmarks()})
 }
 
-// handleCacheStats reports response-cache counters.
+// handleCacheStats reports the response store's counters: the folded
+// store-level totals (Totals' semantics) plus each tier's own counters.
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
-	hits, misses := s.cache.Stats()
+	tiers := s.store.Stats()
+	entries, hits, misses := resultstore.Totals(tiers)
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
-		Entries   int    `json:"entries"`
-		Hits      uint64 `json:"hits"`
-		Misses    uint64 `json:"misses"`
-		Coalesced uint64 `json:"coalesced"`
-	}{Entries: s.cache.Len(), Hits: hits, Misses: misses, Coalesced: s.coalesced.Load()})
+		Entries   int                     `json:"entries"`
+		Hits      uint64                  `json:"hits"`
+		Misses    uint64                  `json:"misses"`
+		Coalesced uint64                  `json:"coalesced"`
+		Tiers     []resultstore.TierStats `json:"tiers"`
+	}{Entries: entries, Hits: hits, Misses: misses, Coalesced: s.coalesced.Load(), Tiers: tiers})
 }
 
 // Describe returns a one-line routing summary (used by cmd/simd startup

@@ -1,0 +1,146 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
+)
+
+// TestRestartServesFromDiskStore is the persistence acceptance test: a
+// simd instance backed by a disk store caches a simulation, the process
+// "dies" (server discarded, store closed), and a fresh instance over
+// the same directory serves the identical request with X-Cache: HIT —
+// zero engine runs — with a body byte-identical to the engine-computed
+// result.
+func TestRestartServesFromDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	const reqBody = `{"benchmark":"gzip","bank_hopping":true}`
+
+	// First life: compute and persist.
+	store1, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng1, runs1 := countingEngine(nil)
+	first := post(t, NewServerWithStore(eng1, store1), "/v1/simulations", reqBody)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", first.Code, first.Body.String())
+	}
+	if got := first.Header().Get("X-Cache"); got != "MISS" {
+		t.Fatalf("first life X-Cache = %q, want MISS", got)
+	}
+	if runs1.Load() != 1 {
+		t.Fatalf("first life ran the engine %d times, want 1", runs1.Load())
+	}
+	if err := store1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: a fresh engine and a fresh store over the same
+	// directory.  The request must be served from disk, not recomputed.
+	store2, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	eng2, runs2 := countingEngine(nil)
+	srv2 := NewServerWithStore(eng2, store2)
+	second := post(t, srv2, "/v1/simulations", reqBody)
+	if second.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", second.Code, second.Body.String())
+	}
+	if got := second.Header().Get("X-Cache"); got != "HIT" {
+		t.Errorf("post-restart X-Cache = %q, want HIT", got)
+	}
+	if runs2.Load() != 0 {
+		t.Errorf("post-restart request ran the engine %d times, want 0", runs2.Load())
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Error("post-restart body differs from the first life's response")
+	}
+
+	// Byte-identity against a direct engine computation: the disk tier
+	// serves exactly what the engine would produce.
+	res, err := frontendsim.New(
+		frontendsim.WithWarmupOps(30_000),
+		frontendsim.WithMeasureOps(60_000),
+	).Run(context.Background(), frontendsim.Request{Benchmark: "gzip", BankHopping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	computed = append(computed, '\n')
+	if !bytes.Equal(computed, second.Body.Bytes()) {
+		t.Error("disk-served body is not byte-identical to the engine-computed result")
+	}
+
+	// The stats endpoint attributes the hit to the disk tier.
+	stats := httptest.NewRecorder()
+	srv2.ServeHTTP(stats, httptest.NewRequest(http.MethodGet, "/v1/cache/stats", nil))
+	var st struct {
+		Hits  uint64 `json:"hits"`
+		Tiers []resultstore.TierStats
+	}
+	if err := json.Unmarshal(stats.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 {
+		t.Errorf("stats report %d hits, want 1", st.Hits)
+	}
+	if len(st.Tiers) != 1 || st.Tiers[0].Tier != "disk" || st.Tiers[0].Hits != 1 {
+		t.Errorf("tiers = %+v, want one disk tier with 1 hit", st.Tiers)
+	}
+}
+
+// TestTieredStoreReportsPerTierStats runs a tiered server through a
+// MISS (fills both tiers) and a HIT (memory tier) and checks the
+// per-tier accounting on /v1/cache/stats.
+func TestTieredStoreReportsPerTierStats(t *testing.T) {
+	disk, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk.Close()
+	eng, _ := countingEngine(nil)
+	srv := NewServerWithStore(eng, resultstore.NewTiered(resultstore.NewMemory(16), disk))
+
+	if w := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`); w.Header().Get("X-Cache") != "MISS" {
+		t.Fatalf("first request X-Cache = %q, want MISS", w.Header().Get("X-Cache"))
+	}
+	if w := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`); w.Header().Get("X-Cache") != "HIT" {
+		t.Fatalf("second request X-Cache = %q, want HIT", w.Header().Get("X-Cache"))
+	}
+
+	stats := httptest.NewRecorder()
+	srv.ServeHTTP(stats, httptest.NewRequest(http.MethodGet, "/v1/cache/stats", nil))
+	var st struct {
+		Entries int    `json:"entries"`
+		Hits    uint64 `json:"hits"`
+		Misses  uint64 `json:"misses"`
+		Tiers   []resultstore.TierStats
+	}
+	if err := json.Unmarshal(stats.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("totals = %+v, want 1 entry / 1 hit / 1 miss", st)
+	}
+	if len(st.Tiers) != 2 || st.Tiers[0].Tier != "memory" || st.Tiers[1].Tier != "disk" {
+		t.Fatalf("tiers = %+v, want [memory disk]", st.Tiers)
+	}
+	if st.Tiers[0].Hits != 1 || st.Tiers[0].Sets != 1 || st.Tiers[1].Sets != 1 {
+		t.Errorf("tier counters = %+v, want memory hit + write-through sets", st.Tiers)
+	}
+	if st.Tiers[1].Hits != 0 {
+		t.Errorf("disk tier served %d hits, memory should have absorbed them", st.Tiers[1].Hits)
+	}
+}

@@ -1,27 +1,3 @@
-// Package frontendsim is the public API of the distributed-frontend
-// thermal simulator.  It wraps the internal simulation pipeline (core,
-// power, thermal, dtm) behind an Engine that supports
-//
-//   - functional-option construction (WithThermal, WithPower, WithDTM,
-//     WithIntervalCycles, ...),
-//   - context-aware runs: Run(ctx, Request) honors cancellation between
-//     thermal intervals,
-//   - streaming observation: observers receive one Snapshot per measured
-//     interval (temperatures, per-block power, incremental IPC, bank-hop
-//     and DTM state) instead of only a final Result,
-//   - JSON-(un)marshalable Request/Result types, so runs can cross a
-//     process boundary (see cmd/simd), and
-//   - RunSuite: a bounded worker pool that parallelizes a benchmark
-//     sweep with deterministic, order-independent aggregation, de-duped
-//     on the canonical request key, and
-//   - RunSuiteVia: the same suite machinery over a caller-supplied
-//     Dispatcher, so a suite can run against remote backends (see
-//     pkg/scheduler) with an aggregate byte-identical to a local run.
-//
-// The zero-cost entry point for a single paper-style run:
-//
-//	eng := frontendsim.New()
-//	res, err := eng.Run(ctx, frontendsim.Request{Benchmark: "gzip"})
 package frontendsim
 
 import (

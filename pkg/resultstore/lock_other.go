@@ -1,0 +1,21 @@
+//go:build !unix
+
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock: best-effort only — the LOCK file
+// is created but concurrent ownership is not detected.  The documented
+// single-owner-per-directory requirement still applies.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: open lock %s: %w", path, err)
+	}
+	return f, nil
+}

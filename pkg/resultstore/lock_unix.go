@@ -1,0 +1,29 @@
+//go:build unix
+
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes the advisory owner lock of a disk-store directory: an
+// exclusive, non-blocking flock on a LOCK file inside it.  The kernel
+// releases the lock when the holding process exits — however it exits —
+// so a crashed owner never blocks the restart that recovery exists for,
+// while a *live* second owner (which would interleave appends into the
+// same active segment and corrupt it) fails immediately and loudly.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: open lock %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("resultstore: %s is owned by another process (flock %s: %w)", dir, path, err)
+	}
+	return f, nil
+}

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/singleflight"
 	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
 )
 
 // Config configures a Scheduler.
@@ -26,6 +28,13 @@ type Config struct {
 	// HTTPClient overrides the backend HTTP client (nil selects
 	// http.DefaultClient).
 	HTTPClient *http.Client
+	// Cache is the scheduler-tier response store (Thanos
+	// query-frontend results cache): it is consulted — inside the
+	// single-flight group, so identical concurrent requests do one
+	// lookup — before any ring dispatch, and filled after every
+	// successful dispatch.  A fully cached suite is answered without
+	// contacting a single backend.  nil disables the tier.
+	Cache resultstore.Store
 }
 
 // Stats are cumulative dispatch counters.
@@ -39,6 +48,10 @@ type Stats struct {
 	// Coalesced counts dispatches served by joining an identical
 	// in-flight dispatch instead of contacting a backend.
 	Coalesced uint64 `json:"coalesced"`
+	// CacheHits counts dispatches answered by the scheduler-tier
+	// response store without contacting a backend — directly, or by
+	// joining an in-flight store lookup another caller started.
+	CacheHits uint64 `json:"cache_hits"`
 }
 
 // Scheduler is the multi-node suite frontend: it expands a suite into
@@ -58,11 +71,20 @@ type Scheduler struct {
 	ring    *Ring
 	client  *Client
 	retries int
-	flight  singleflight.Group[*frontendsim.Result]
+	cache   resultstore.Store // nil disables the scheduler-tier store
+	flight  singleflight.Group[outcome]
 
 	dispatched atomic.Uint64
 	retried    atomic.Uint64
 	coalesced  atomic.Uint64
+	cacheHits  atomic.Uint64
+}
+
+// outcome is one single-flighted dispatch's result plus whether the
+// scheduler-tier store served it.
+type outcome struct {
+	res    *frontendsim.Result
+	cached bool
 }
 
 // New builds a Scheduler over eng's request canonicalization (RequestKey
@@ -85,6 +107,7 @@ func New(eng *frontendsim.Engine, cfg Config) (*Scheduler, error) {
 		ring:    ring,
 		client:  NewClient(cfg.HTTPClient),
 		retries: retries,
+		cache:   cfg.Cache,
 	}, nil
 }
 
@@ -97,7 +120,67 @@ func (s *Scheduler) Stats() Stats {
 		Dispatched: s.dispatched.Load(),
 		Retried:    s.retried.Load(),
 		Coalesced:  s.coalesced.Load(),
+		CacheHits:  s.cacheHits.Load(),
 	}
+}
+
+// CacheStats returns the scheduler-tier store's per-tier counters (nil
+// when the tier is disabled).
+func (s *Scheduler) CacheStats() []resultstore.TierStats {
+	if s.cache == nil {
+		return nil
+	}
+	return s.cache.Stats()
+}
+
+// Source reports how one dispatch was served.
+type Source int
+
+const (
+	// SourceDispatched: the request was shipped to a backend.
+	SourceDispatched Source = iota
+	// SourceCached: the scheduler-tier store answered, no backend was
+	// contacted.
+	SourceCached
+	// SourceCoalesced: the caller joined an identical in-flight
+	// dispatch started by another caller.
+	SourceCoalesced
+)
+
+// String returns the X-Cache spelling of the source.
+func (s Source) String() string {
+	switch s {
+	case SourceCached:
+		return "HIT"
+	case SourceCoalesced:
+		return "COALESCED"
+	}
+	return "MISS"
+}
+
+// Served is a suite's breakdown of how its unique shards (canonical
+// keys) were served.
+type Served struct {
+	// Cached shards were answered by the scheduler-tier store.
+	Cached uint64 `json:"cached"`
+	// Dispatched shards were shipped to a backend.
+	Dispatched uint64 `json:"dispatched"`
+	// Coalesced shards joined an identical in-flight dispatch.
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// XCache is the frontend-tier X-Cache value of a suite response: HIT
+// when every shard came from the scheduler store, PARTIAL when some
+// did, MISS when none did.
+func (v Served) XCache() string {
+	total := v.Cached + v.Dispatched + v.Coalesced
+	switch {
+	case total > 0 && v.Cached == total:
+		return "HIT"
+	case v.Cached > 0:
+		return "PARTIAL"
+	}
+	return "MISS"
 }
 
 // RunSuite runs the suite across the backend ring.  Results arrive in
@@ -105,24 +188,121 @@ func (s *Scheduler) Stats() Stats {
 // byte-identical (as JSON) to a serial in-process Engine.RunSuite with
 // the same engine defaults.
 func (s *Scheduler) RunSuite(ctx context.Context, suite frontendsim.SuiteRequest) (*frontendsim.SuiteResult, error) {
-	return s.eng.RunSuiteVia(ctx, suite, s.Dispatch)
+	res, _, err := s.RunSuiteServed(ctx, suite)
+	return res, err
+}
+
+// RunSuiteServed is RunSuite plus the per-suite breakdown of how each
+// unique shard was served — the basis of the frontend tier's X-Cache
+// accounting.
+func (s *Scheduler) RunSuiteServed(ctx context.Context, suite frontendsim.SuiteRequest) (*frontendsim.SuiteResult, Served, error) {
+	var cached, dispatched, coalesced atomic.Uint64
+	res, err := s.eng.RunSuiteVia(ctx, suite, func(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+		r, src, err := s.DispatchSource(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		switch src {
+		case SourceCached:
+			cached.Add(1)
+		case SourceCoalesced:
+			coalesced.Add(1)
+		default:
+			dispatched.Add(1)
+		}
+		return r, nil
+	})
+	served := Served{
+		Cached:     cached.Load(),
+		Dispatched: dispatched.Load(),
+		Coalesced:  coalesced.Load(),
+	}
+	return res, served, err
 }
 
 // Dispatch ships one request to its home backend, walking the ring on
 // failure.  Identical concurrent dispatches (same canonical key, e.g.
-// from two overlapping suites) coalesce into one backend call.
+// from two overlapping suites) coalesce into one backend call, and the
+// scheduler-tier store (when configured) answers without any backend
+// call at all.
 func (s *Scheduler) Dispatch(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+	res, _, err := s.DispatchSource(ctx, req)
+	return res, err
+}
+
+// DispatchSource is Dispatch plus how the request was served.  The
+// single-flight group stays in front of the store: concurrent identical
+// requests resolve to one store lookup and (on a miss) one backend
+// dispatch, whose result is written back to the store.
+func (s *Scheduler) DispatchSource(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, Source, error) {
 	key, err := s.eng.RequestKey(req)
 	if err != nil {
-		return nil, err
+		return nil, SourceDispatched, err
 	}
-	res, err, shared := s.flight.Do(ctx, key, func(runCtx context.Context) (*frontendsim.Result, error) {
-		return s.dispatchKey(runCtx, key, req)
+	out, err, shared := s.flight.Do(ctx, key, func(runCtx context.Context) (outcome, error) {
+		if res := s.cacheGet(runCtx, key); res != nil {
+			return outcome{res: res, cached: true}, nil
+		}
+		res, err := s.dispatchKey(runCtx, key, req)
+		if err != nil {
+			return outcome{}, err
+		}
+		s.cacheSet(runCtx, key, res)
+		return outcome{res: res}, nil
 	})
-	if shared {
-		s.coalesced.Add(1)
+	if err != nil {
+		src := SourceDispatched
+		if shared {
+			s.coalesced.Add(1)
+			src = SourceCoalesced
+		}
+		return nil, src, err
 	}
-	return res, err
+	// A caller that joined an execution the store answered was still
+	// served by the store — no backend was contacted on its behalf — so
+	// it counts as a cache hit, not a coalesce; only joins of real
+	// dispatches count as coalesced.  This keeps a fully cache-served
+	// suite reporting X-Cache: HIT even when two identical suites race.
+	switch {
+	case out.cached:
+		s.cacheHits.Add(1)
+		return out.res, SourceCached, nil
+	case shared:
+		s.coalesced.Add(1)
+		return out.res, SourceCoalesced, nil
+	}
+	return out.res, SourceDispatched, nil
+}
+
+// cacheGet reads one result from the scheduler-tier store; any failure
+// (store error, undecodable entry) is a miss — the ring can always
+// recompute.
+func (s *Scheduler) cacheGet(ctx context.Context, key string) *frontendsim.Result {
+	if s.cache == nil {
+		return nil
+	}
+	body, ok, err := s.cache.Get(ctx, key)
+	if err != nil || !ok {
+		return nil
+	}
+	var res frontendsim.Result
+	if json.Unmarshal(body, &res) != nil {
+		return nil
+	}
+	return &res
+}
+
+// cacheSet writes one dispatched result back to the scheduler-tier
+// store, best-effort: a store failure only costs a later recompute.
+func (s *Scheduler) cacheSet(ctx context.Context, key string, res *frontendsim.Result) {
+	if s.cache == nil {
+		return
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return
+	}
+	s.cache.Set(ctx, key, body)
 }
 
 // dispatchKey walks the key's ring sequence: the home node first, then

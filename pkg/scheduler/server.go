@@ -9,15 +9,21 @@ import (
 	"strings"
 
 	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
 )
 
 // Server is the HTTP API of the suite scheduler (served by cmd/simsched).
 //
 //	POST /v1/suites      JSON frontendsim.SuiteRequest -> JSON SuiteResult,
-//	                     sharded across the backend ring
-//	POST /v1/simulations JSON frontendsim.Request -> JSON Result, routed
-//	                     to the request's home backend (ring passthrough)
+//	                     sharded across the backend ring; X-Cache reports
+//	                     HIT (all shards from the scheduler store),
+//	                     PARTIAL or MISS
+//	POST /v1/simulations JSON frontendsim.Request -> JSON Result, served
+//	                     from the scheduler store or routed to the
+//	                     request's home backend (ring passthrough);
+//	                     X-Cache: HIT|MISS|COALESCED
 //	GET  /v1/ring        ring topology and dispatch counters
+//	GET  /v1/cache/stats scheduler-tier response-store counters
 //	GET  /healthz        liveness
 type Server struct {
 	sched *Scheduler
@@ -30,6 +36,7 @@ func NewServer(sched *Scheduler) *Server {
 	s.mux.HandleFunc("POST /v1/suites", s.handleSuite)
 	s.mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
+	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -78,12 +85,13 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("scheduler: decode suite request: %w", err))
 		return
 	}
-	res, err := s.sched.RunSuite(r.Context(), suite)
+	res, served, err := s.sched.RunSuiteServed(r.Context(), suite)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", served.XCache())
 	json.NewEncoder(w).Encode(res)
 }
 
@@ -95,13 +103,33 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("scheduler: decode request: %w", err))
 		return
 	}
-	res, err := s.sched.Dispatch(r.Context(), req)
+	res, source, err := s.sched.DispatchSource(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", source.String())
 	json.NewEncoder(w).Encode(res)
+}
+
+// handleCacheStats reports the scheduler-tier response store's
+// counters, in the same shape as simd's /v1/cache/stats (an empty tier
+// list means the store is disabled).
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	tiers := s.sched.CacheStats()
+	entries, hits, misses := resultstore.Totals(tiers)
+	if tiers == nil {
+		tiers = []resultstore.TierStats{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Entries   int                     `json:"entries"`
+		Hits      uint64                  `json:"hits"`
+		Misses    uint64                  `json:"misses"`
+		Coalesced uint64                  `json:"coalesced"`
+		Tiers     []resultstore.TierStats `json:"tiers"`
+	}{Entries: entries, Hits: hits, Misses: misses, Coalesced: s.sched.Stats().Coalesced, Tiers: tiers})
 }
 
 // handleRing reports the ring topology, the per-benchmark home nodes of
@@ -128,6 +156,7 @@ func Describe() string {
 		"POST /v1/suites",
 		"POST /v1/simulations",
 		"GET /v1/ring",
+		"GET /v1/cache/stats",
 		"GET /healthz",
 	}, ", ")
 }
