@@ -51,10 +51,13 @@ bench:
 	$(GO) test -run NONE -bench '$(BENCH_TIER1)' -benchmem -benchtime 3x . ./pkg/scheduler > BENCH_raw.out
 	$(GO) run ./cmd/benchjson -o BENCH_results.json < BENCH_raw.out && rm -f BENCH_raw.out
 
-# Fast allocation-regression gate: the short tier-1 benchmarks plus the
-# AllocsPerRun tests that pin the zero-allocation interval pipeline.
+# Fast regression gate: the short tier-1 benchmarks, the AllocsPerRun
+# tests that pin the zero-allocation interval pipeline, and the pinned
+# cycles/op expectation for BenchmarkSimulatorThroughput (committed in
+# cycles_pin_test.go alongside the golden fixtures).
 bench-short:
 	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs' -v ./internal/sim
+	$(GO) test -run 'SimulatorThroughputCyclesPinned' -v .
 	$(GO) test -run NONE -bench '$(BENCH_TIER1)' -benchmem -benchtime 1x . ./pkg/scheduler
 
 bench-full:

@@ -7,6 +7,11 @@
 // Each benchmark line becomes one record with the iteration count and
 // every reported metric (ns/op, B/op, allocs/op, custom ReportMetric
 // units) keyed by unit name.
+//
+// When a baseline report exists (-baseline, default: the previous
+// contents of the -o file — normally the committed BENCH_results.json),
+// a per-benchmark delta of every shared metric is printed after the run,
+// so a bench refresh shows what moved against the committed numbers.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -28,7 +34,14 @@ type Record struct {
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output JSON path")
+	baseline := flag.String("baseline", "", "baseline JSON to diff against (default: previous contents of -o)")
 	flag.Parse()
+
+	basePath := *baseline
+	if basePath == "" {
+		basePath = *out
+	}
+	base := readBaseline(basePath) // before -o is overwritten
 
 	var records []Record
 	sc := bufio.NewScanner(os.Stdin)
@@ -53,6 +66,78 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
 		os.Exit(1)
 	}
+	printDelta(base, basePath, records)
+}
+
+// readBaseline loads a previous report; a missing or unparsable file just
+// disables the delta (first runs have nothing to diff against).
+func readBaseline(path string) []Record {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var records []Record
+	if json.Unmarshal(b, &records) != nil {
+		return nil
+	}
+	return records
+}
+
+// printDelta prints, per benchmark present in both reports, the old and
+// new value of every shared metric with its relative change.
+func printDelta(base []Record, basePath string, records []Record) {
+	if len(base) == 0 {
+		return
+	}
+	old := make(map[string]map[string]float64, len(base))
+	for _, r := range base {
+		old[r.Name] = r.Metrics
+	}
+	printed := false
+	for _, r := range records {
+		om, ok := old[r.Name]
+		if !ok {
+			continue
+		}
+		var units []string
+		for u := range r.Metrics {
+			if _, ok := om[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		var parts []string
+		for _, u := range units {
+			ov, nv := om[u], r.Metrics[u]
+			if ov == nv {
+				continue
+			}
+			part := fmt.Sprintf("%s %s -> %s", u, formatVal(ov), formatVal(nv))
+			if ov != 0 {
+				part += fmt.Sprintf(" (%+.1f%%)", (nv-ov)/ov*100)
+			}
+			parts = append(parts, part)
+		}
+		if len(parts) == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Printf("\ndelta vs %s:\n", basePath)
+			printed = true
+		}
+		fmt.Printf("  %-32s %s\n", r.Name, strings.Join(parts, ", "))
+	}
+	if printed {
+		fmt.Println()
+	}
+}
+
+// formatVal renders a metric without trailing noise for integral values.
+func formatVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
 // parseLine parses one "BenchmarkX-8  3  123 ns/op  4 B/op ..." line.

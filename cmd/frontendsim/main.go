@@ -89,6 +89,11 @@ func main() {
 	raw := r.Raw()
 	fmt.Printf("mispredicts    %d, copies %d (cross-frontend %d)\n",
 		raw.Stats.Mispredicts, raw.Stats.Copies, raw.Stats.CrossFrontend)
+	if *verbose {
+		fmt.Printf("event queue    %d pushes, %d pops, %d store wakeups, %d polls avoided\n",
+			raw.Stats.EventPushes, raw.Stats.EventPops,
+			raw.Stats.StoreWakeups, raw.Stats.StorePollsAvoided)
+	}
 	if *dtmOn {
 		fmt.Printf("dtm            %d engagements, %d throttled intervals, min duty %d\n",
 			r.DTMEngagements, r.DTMThrottled, r.DTMMinDuty)

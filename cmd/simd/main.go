@@ -7,7 +7,7 @@
 //
 //	simd [-addr :8723] [-cache 512] [-workers N]
 //	     [-store memory|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
-//	     [-warmup N] [-measure N] [-interval N]
+//	     [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
 //
 // Store backends (-store):
 //
@@ -41,6 +41,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/pprofserve"
 	"repro/internal/simd"
 	"repro/pkg/frontendsim"
 	"repro/pkg/resultstore"
@@ -78,8 +79,11 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	pprofserve.Maybe("simd", *pprofAddr)
 
 	store, err := buildStore(*storeKind, *storeDir, *storeMax, *cacheSize)
 	if err != nil {

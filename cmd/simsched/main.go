@@ -16,6 +16,7 @@
 //	simsched -backends http://sim-1:8723,http://sim-2:8723 [-addr :8724]
 //	         [-replicas 128] [-retries -1] [-cache 512] [-workers N]
 //	         [-timeout 10m] [-warmup N] [-measure N] [-interval N]
+//	         [-pprof ADDR]
 //
 // The -warmup/-measure/-interval defaults must match the backends' simd
 // flags: the scheduler canonicalizes requests under its own engine
@@ -39,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/pprofserve"
 	"repro/pkg/frontendsim"
 	"repro/pkg/resultstore"
 	"repro/pkg/scheduler"
@@ -46,18 +48,21 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8724", "listen address")
-		backends = flag.String("backends", "", "comma-separated simd base URLs (required)")
-		replicas = flag.Int("replicas", 0, "virtual ring points per backend (0 = default)")
-		retries  = flag.Int("retries", 0, "failover nodes tried after the home backend (0 = all remaining, -1 = none)")
-		cache    = flag.Int("cache", 512, "scheduler-tier response cache entries (0 disables)")
-		workers  = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
-		warmup   = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default; match simd)")
-		measure  = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default; match simd)")
-		interval = flag.Uint64("interval", 0, "default interval cycles (0 = paper default; match simd)")
+		addr      = flag.String("addr", ":8724", "listen address")
+		backends  = flag.String("backends", "", "comma-separated simd base URLs (required)")
+		replicas  = flag.Int("replicas", 0, "virtual ring points per backend (0 = default)")
+		retries   = flag.Int("retries", 0, "failover nodes tried after the home backend (0 = all remaining, -1 = none)")
+		cache     = flag.Int("cache", 512, "scheduler-tier response cache entries (0 disables)")
+		workers   = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
+		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default; match simd)")
+		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default; match simd)")
+		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default; match simd)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6061; empty disables)")
 	)
 	flag.Parse()
+
+	pprofserve.Maybe("simsched", *pprofAddr)
 
 	var nodes []string
 	for _, b := range strings.Split(*backends, ",") {

@@ -32,8 +32,22 @@ func (k QueueKind) String() string { return queueNames[k] }
 
 // RegFile tracks the readiness of the physical registers of one register
 // space in one cluster.  Values themselves are not simulated.
+//
+// Each register additionally carries a producer-wakeup subscription list:
+// a consumer that finds the register NeverReady can Subscribe a token
+// once, and SetReady hands every subscribed token back to the caller so
+// it can be scheduled at the register's true ready cycle instead of
+// polling.  The lists are intrusive FIFOs over a token-indexed next
+// array, so subscription traffic never touches the allocator once
+// EnsureWaiterTokens has sized the token space.
 type RegFile struct {
 	readyAt []uint64
+	// waiterHead/waiterTail hold, per register, the FIFO waiter list of
+	// subscribed tokens (-1 = empty); waiterNext links tokens.
+	waiterHead []int32
+	waiterTail []int32
+	waiterNext []int32
+	notifyBuf  []int32
 	// Reads and Writes are activity counters for the power model.
 	Reads  uint64
 	Writes uint64
@@ -42,21 +56,110 @@ type RegFile struct {
 // NewRegFile builds a register file with n physical registers, all ready
 // at cycle 0 (the architectural initial state).
 func NewRegFile(n int) *RegFile {
-	rf := &RegFile{readyAt: make([]uint64, n)}
+	rf := &RegFile{
+		readyAt:    make([]uint64, n),
+		waiterHead: make([]int32, n),
+		waiterTail: make([]int32, n),
+	}
+	for i := range rf.waiterHead {
+		rf.waiterHead[i] = -1
+		rf.waiterTail[i] = -1
+	}
 	return rf
 }
 
 // Size returns the number of physical registers.
 func (rf *RegFile) Size() int { return len(rf.readyAt) }
 
-// SetPending marks register p as not yet produced.
-func (rf *RegFile) SetPending(p int16) { rf.readyAt[p] = NeverReady }
+// EnsureWaiterTokens sizes the subscription token space for tokens in
+// [0, n).  Subscribe grows it on demand, but pre-sizing keeps the
+// steady-state wakeup path allocation-free.
+func (rf *RegFile) EnsureWaiterTokens(n int) {
+	for len(rf.waiterNext) < n {
+		rf.waiterNext = append(rf.waiterNext, -1)
+	}
+	if cap(rf.notifyBuf) < n {
+		rf.notifyBuf = make([]int32, 0, n)
+	}
+}
+
+// Subscribe appends token to register p's waiter list.  The token is
+// handed back by the SetReady call that produces p's value.  A token must
+// not be subscribed twice without an intervening SetReady/Unsubscribe.
+func (rf *RegFile) Subscribe(p int16, token int32) {
+	rf.EnsureWaiterTokens(int(token) + 1)
+	rf.waiterNext[token] = -1
+	if rf.waiterTail[p] < 0 {
+		rf.waiterHead[p] = token
+	} else {
+		rf.waiterNext[rf.waiterTail[p]] = token
+	}
+	rf.waiterTail[p] = token
+}
+
+// Unsubscribe removes token from register p's waiter list.  It is the
+// drain hook for any path that abandons a waiting consumer: the current
+// machine never squashes in-flight ops (mispredict resolution only
+// stalls fetch), so nothing in core calls it yet, but a flush path must
+// drain its subscriptions this way or SetPending will panic at the
+// register's reallocation.  Removing a token that is not subscribed is a
+// no-op.
+func (rf *RegFile) Unsubscribe(p int16, token int32) {
+	prev := int32(-1)
+	for t := rf.waiterHead[p]; t >= 0; t = rf.waiterNext[t] {
+		if t != token {
+			prev = t
+			continue
+		}
+		next := rf.waiterNext[t]
+		if prev < 0 {
+			rf.waiterHead[p] = next
+		} else {
+			rf.waiterNext[prev] = next
+		}
+		if rf.waiterTail[p] == t {
+			rf.waiterTail[p] = prev
+		}
+		rf.waiterNext[t] = -1
+		return
+	}
+}
+
+// HasWaiters reports whether any token is subscribed to register p.
+func (rf *RegFile) HasWaiters(p int16) bool { return rf.waiterHead[p] >= 0 }
+
+// SetPending marks register p as not yet produced.  A register is only
+// re-marked pending when it is reallocated to a new producer, by which
+// point every waiter of the old value must have been woken or drained —
+// a surviving subscription would never fire, so fail loudly.
+func (rf *RegFile) SetPending(p int16) {
+	if rf.waiterHead[p] >= 0 {
+		panic("backend: register reallocated with live waiter subscriptions")
+	}
+	rf.readyAt[p] = NeverReady
+}
 
 // SetReady records that register p's value is available from cycle c on,
-// and counts the write-back.
-func (rf *RegFile) SetReady(p int16, c uint64) {
+// and counts the write-back.  It returns the tokens subscribed to p in
+// FIFO order (or nil), clearing the subscription list; the returned slice
+// is only valid until the next SetReady on this register file.
+func (rf *RegFile) SetReady(p int16, c uint64) []int32 {
 	rf.readyAt[p] = c
 	rf.Writes++
+	if rf.waiterHead[p] < 0 {
+		return nil
+	}
+	buf := rf.notifyBuf[:0]
+	for t := rf.waiterHead[p]; t >= 0; {
+		next := rf.waiterNext[t]
+		rf.waiterNext[t] = -1
+		buf = append(buf, t)
+		t = next
+	}
+	rf.waiterHead[p] = -1
+	rf.waiterTail[p] = -1
+	rf.notifyBuf = buf
+	return buf
 }
 
 // ReadyAt returns the cycle from which p's value can be read.

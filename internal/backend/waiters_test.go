@@ -1,0 +1,108 @@
+package backend
+
+import "testing"
+
+func TestRegFileWaitersFIFO(t *testing.T) {
+	rf := NewRegFile(8)
+	rf.EnsureWaiterTokens(16)
+	rf.SetPending(3)
+	rf.Subscribe(3, 7)
+	rf.Subscribe(3, 2)
+	rf.Subscribe(3, 11)
+	if !rf.HasWaiters(3) {
+		t.Fatal("HasWaiters false after Subscribe")
+	}
+	got := rf.SetReady(3, 40)
+	want := []int32{7, 2, 11}
+	if len(got) != len(want) {
+		t.Fatalf("SetReady returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SetReady returned %v, want %v (subscription order)", got, want)
+		}
+	}
+	if rf.HasWaiters(3) {
+		t.Fatal("waiters survived SetReady")
+	}
+	if rf.ReadyAt(3) != 40 {
+		t.Fatalf("ReadyAt = %d", rf.ReadyAt(3))
+	}
+}
+
+func TestRegFileWaitersIndependentRegisters(t *testing.T) {
+	rf := NewRegFile(8)
+	rf.EnsureWaiterTokens(8)
+	rf.SetPending(1)
+	rf.SetPending(2)
+	rf.Subscribe(1, 0)
+	rf.Subscribe(2, 1)
+	if got := rf.SetReady(1, 10); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("register 1 waiters = %v", got)
+	}
+	if got := rf.SetReady(2, 11); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("register 2 waiters = %v", got)
+	}
+}
+
+// TestRegFileUnsubscribeDrains pins the squash-drain contract: an
+// unsubscribed token must never be handed back (no dangling wakeup), and
+// the remaining waiters must still be notified (no lost completion).
+func TestRegFileUnsubscribeDrains(t *testing.T) {
+	rf := NewRegFile(4)
+	rf.EnsureWaiterTokens(8)
+	rf.SetPending(0)
+	rf.Subscribe(0, 1)
+	rf.Subscribe(0, 2)
+	rf.Subscribe(0, 3)
+	rf.Unsubscribe(0, 2) // middle
+	rf.Unsubscribe(0, 5) // never subscribed: no-op
+	if got := rf.SetReady(0, 9); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("waiters after unsubscribe = %v, want [1 3]", got)
+	}
+
+	// Head and tail removal, including emptying the list entirely.
+	rf.SetPending(1)
+	rf.Subscribe(1, 4)
+	rf.Subscribe(1, 5)
+	rf.Unsubscribe(1, 4)
+	rf.Unsubscribe(1, 5)
+	if rf.HasWaiters(1) {
+		t.Fatal("list not empty after removing every waiter")
+	}
+	if got := rf.SetReady(1, 3); len(got) != 0 {
+		t.Fatalf("drained register still notified %v", got)
+	}
+	// The tail must have been reset: a fresh subscription still works.
+	rf.SetPending(1)
+	rf.Subscribe(1, 6)
+	if got := rf.SetReady(1, 5); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("subscription after full drain = %v, want [6]", got)
+	}
+}
+
+// TestRegFileSetPendingWithWaitersPanics pins the reallocation guard: a
+// register handed to a new producer while a stale subscription survives
+// would strand that waiter forever, so it must fail loudly.
+func TestRegFileSetPendingWithWaitersPanics(t *testing.T) {
+	rf := NewRegFile(4)
+	rf.EnsureWaiterTokens(4)
+	rf.SetPending(2)
+	rf.Subscribe(2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetPending with live waiters did not panic")
+		}
+	}()
+	rf.SetPending(2)
+}
+
+func TestRegFileSubscribeGrowsTokenSpace(t *testing.T) {
+	rf := NewRegFile(4)
+	// No EnsureWaiterTokens: Subscribe must size the space on demand.
+	rf.SetPending(0)
+	rf.Subscribe(0, 123)
+	if got := rf.SetReady(0, 1); len(got) != 1 || got[0] != 123 {
+		t.Fatalf("waiters = %v, want [123]", got)
+	}
+}

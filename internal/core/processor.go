@@ -35,6 +35,17 @@ type Stats struct {
 	CrossFrontend  uint64 // copies that needed the two-step request
 	LoadForwards   uint64
 	LoadMisses     uint64
+
+	// Event-queue traffic.  EventPushes/EventPops count scheduled and
+	// drained completion events; StoreWakeups counts store completions
+	// scheduled by a producer wakeup instead of an event of their own;
+	// StorePollsAvoided estimates the 2-cycle poll re-arms the
+	// pre-wakeup scheme would have executed for the same waits, so perf
+	// work can quantify queue pressure without a profiler.
+	EventPushes       uint64
+	EventPops         uint64
+	StoreWakeups      uint64
+	StorePollsAvoided uint64
 }
 
 // IPC returns committed micro-ops per cycle.
@@ -58,10 +69,14 @@ type opState struct {
 	nFrees    int8
 	redirect  bool
 	inUse     bool
-	storePoll bool // store waiting for its data operand at completion
+	storeWait bool // store subscribed to its data producer's register
 	srcPhys   [2]int16
 	srcFP     [2]bool
 	dstPhys   int16
+	// waitFrom is the cycle the store's address half finished while its
+	// data operand was still unproduced; the producer's wakeup schedules
+	// completion at max(waitFrom, data ready cycle).
+	waitFrom uint64
 	// Resolved at dispatch so the per-cycle wakeup poll is a pointer load
 	// instead of a cluster->regfile->slice walk: srcReady points at the
 	// readiness slot of each source physical register, srcRF/dstRF at the
@@ -111,11 +126,6 @@ type readyHot struct {
 	kind       readyKind
 }
 
-type event struct {
-	cycle uint64
-	id    int32
-}
-
 // Processor is the whole simulated machine.
 type Processor struct {
 	cfg    Config
@@ -161,7 +171,8 @@ type Processor struct {
 	gateNum         int              // fetch duty cycle (DTM); 0 = ungated
 	gateDen         int
 
-	events eventHeap
+	events   eventQueue
+	drainBuf []int32 // reused by drainEvents; at most one event per slab slot
 
 	pendingCommits []pendingCommit // commit effects delayed by the distributed latency
 	commitBuf      []int32
@@ -215,6 +226,12 @@ func New(cfg Config, feeder Feeder) *Processor {
 	p.slabN = uint64(2*cfg.ROBEntries + cfg.CommitWidth*(cfg.DistributedCommitExtra+2))
 	p.slab = make([]opState, p.slabN)
 	p.readyHot = make([]readyHot, p.slabN)
+	// Wakeup subscription tokens are slab indices; pre-sizing the waiter
+	// links keeps the steady-state subscribe/notify path allocation-free.
+	for _, c := range p.clusters {
+		c.IntRF.EnsureWaiterTokens(int(p.slabN))
+		c.FPRF.EnsureWaiterTokens(int(p.slabN))
+	}
 	p.pipe = make([]pipeEntry, (cfg.FetchToDispatch+cfg.DecodeLatency+2)*cfg.FetchWidth)
 
 	// Steady-state capacity for every append-driven structure of the
@@ -224,7 +241,13 @@ func New(cfg Config, feeder Feeder) *Processor {
 	copyCap := cfg.Clusters*(cfg.Cluster.CopyQ+cfg.Cluster.Prescheduler) + 8
 	p.copies = make([]copyState, 0, copyCap)
 	p.copyFree = make([]int32, 0, copyCap)
-	p.events = make(eventHeap, 0, int(p.slabN)+copyCap)
+	// The event ring covers the largest completion latency the machine
+	// charges in one step — a memory access with its TLB, bus and
+	// arbitration penalties — plus slack for ALU/divider latencies and
+	// moderate bus queueing; rarer delays spill into the overflow FIFO.
+	horizon := cfg.MemLat + cfg.UL2HitLat + cfg.DTLBMissLat + cfg.BusLatency + cfg.BusArbiter + 64
+	p.events.initEventQueue(horizon, int(p.slabN))
+	p.drainBuf = make([]int32, 0, p.slabN)
 	p.pendingCommits = make([]pendingCommit, 0, cfg.CommitWidth*(cfg.DistributedCommitExtra+2))
 	p.commitBuf = make([]int32, 0, cfg.CommitWidth)
 	p.pending = make([]uop.MicroOp, 0, 2*uop.MaxTraceOps)
@@ -317,7 +340,7 @@ func (p *Processor) SetFetchGate(num, den int) {
 // drained.
 func (p *Processor) Done() bool {
 	return p.genDone && len(p.pending) == 0 && p.pipeCount == 0 &&
-		p.reorder.Occupancy() == 0 && len(p.events) == 0 && len(p.pendingCommits) == 0
+		p.reorder.Occupancy() == 0 && p.events.count == 0 && len(p.pendingCommits) == 0
 }
 
 // Step advances the machine by one clock cycle.
@@ -360,75 +383,58 @@ func (p *Processor) RunCycles(n uint64) {
 // ---------------------------------------------------------------------
 // Events
 
-type eventHeap []event
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if (*h)[parent].cycle <= (*h)[i].cycle {
-			break
-		}
-		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	*h = old[:n]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && old[l].cycle < old[small].cycle {
-			small = l
-		}
-		if r < n && old[r].cycle < old[small].cycle {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		old[i], old[small] = old[small], old[i]
-		i = small
-	}
-	return top
-}
-
 func (p *Processor) pushEvent(cycle uint64, id int32) {
-	p.events.push(event{cycle: cycle, id: id})
+	p.events.push(cycle, id, p.cycle)
+	p.Stats.EventPushes++
 }
 
+// drainEvents completes every op whose event is due this cycle, in the
+// order the events were pushed (the bucket queue's FIFO guarantee).
 func (p *Processor) drainEvents(now uint64) {
-	for len(p.events) > 0 && p.events[0].cycle <= now {
-		e := p.events.pop()
-		p.completeOp(e.id, now)
+	p.drainBuf = p.events.drainInto(now, p.drainBuf[:0])
+	for _, id := range p.drainBuf {
+		p.Stats.EventPops++
+		p.completeOp(id, now)
+	}
+}
+
+// wakeWaiters schedules the completion of every store subscribed to a
+// register whose value just became ready at cycle `ready` (now is the
+// producer's issue cycle).  Each store completes at its true ready
+// cycle — the later of its address half finishing and the data arriving
+// — where the replaced scheme would have polled every 2 cycles.
+func (p *Processor) wakeWaiters(tokens []int32, ready, now uint64) {
+	for _, id := range tokens {
+		w := &p.slab[id]
+		if !w.storeWait {
+			panic("core: wakeup delivered to an op that is not waiting")
+		}
+		w.storeWait = false
+		at := w.waitFrom
+		if ready > at {
+			at = ready
+		}
+		p.pushEvent(at, id)
+		p.Stats.StoreWakeups++
+		if now > w.waitFrom {
+			// The old scheme re-armed every 2 cycles from waitFrom until a
+			// poll found the producer issued (cycle `now`), then once more
+			// at the exact ready time.
+			p.Stats.StorePollsAvoided += (now-w.waitFrom+1)/2 + 1
+		}
 	}
 }
 
 // completeOp handles write-back: the op becomes ready to commit.
 func (p *Processor) completeOp(id int32, now uint64) {
 	op := &p.slab[id]
-	if op.storePoll {
-		rt := *op.srcReady[1]
-		if rt > now {
-			// Data still in flight: re-arm at its ready time, or poll if
-			// its producer has not issued yet.
-			next := rt
-			if rt == backend.NeverReady {
-				next = now + 2
-			}
-			p.pushEvent(next, id)
-			return
-		}
-		op.storePoll = false
+	if op.storeWait {
+		panic("core: store completed while still subscribed to its data producer")
 	}
 	if op.u.Class == uop.Store && op.nSrc == 2 {
+		if *op.srcReady[1] > now {
+			panic("core: store completed before its data operand is ready")
+		}
 		op.srcRF[1].CountRead()
 	}
 	p.reorder.Complete(op.ref)
@@ -656,7 +662,21 @@ func (p *Processor) execute(cl int, id int32, now uint64) {
 	case uop.Load:
 		done = p.executeLoad(op, cl, now)
 	case uop.Store:
-		done = p.executeStore(op, cl, now)
+		var waiting bool
+		done, waiting = p.executeStore(op, id, cl, now)
+		if waiting {
+			// Subscribed to the data producer's register: the completion
+			// event is scheduled by that producer's wakeup.  Stores in the
+			// real op stream never define a register, but a degenerate
+			// store-with-dst keeps the poll scheme's semantics: its
+			// write-back lands when the address half finishes.
+			if op.u.HasDst() {
+				if tokens := op.dstRF.SetReady(op.dstPhys, op.waitFrom); len(tokens) != 0 {
+					p.wakeWaiters(tokens, op.waitFrom, now)
+				}
+			}
+			return
+		}
 	case uop.FPAdd, uop.FPMul, uop.FPDiv:
 		lat := op.u.Class.Latency()
 		cluster.FPFU.TryStart(now, lat, op.u.Class != uop.FPDiv)
@@ -667,7 +687,9 @@ func (p *Processor) execute(cl int, id int32, now uint64) {
 		done = now + uint64(lat)
 	}
 	if op.u.HasDst() {
-		op.dstRF.SetReady(op.dstPhys, done)
+		if tokens := op.dstRF.SetReady(op.dstPhys, done); len(tokens) != 0 {
+			p.wakeWaiters(tokens, done, now)
+		}
 	}
 	p.pushEvent(done, id)
 }
@@ -676,7 +698,9 @@ func (p *Processor) executeCopy(idx int32, now uint64) {
 	c := &p.copies[idx]
 	c.srcRF.CountRead()
 	arrive := p.net.Send(now+1, int(c.src), int(c.dst))
-	c.dstRF.SetReady(c.dstPhys, arrive+1)
+	if tokens := c.dstRF.SetReady(c.dstPhys, arrive+1); len(tokens) != 0 {
+		p.wakeWaiters(tokens, arrive+1, now)
+	}
 	c.inUse = false
 	p.copyFree = append(p.copyFree, idx)
 }
@@ -723,7 +747,13 @@ func (p *Processor) executeLoad(op *opState, cl int, now uint64) uint64 {
 	return fill
 }
 
-func (p *Processor) executeStore(op *opState, cl int, now uint64) uint64 {
+// executeStore runs the address half of a store.  The returned cycle is
+// when the store becomes ready to commit — the later of the address
+// completing and the data operand being produced.  When the data
+// producer has not issued yet its ready cycle is unknown, so the store
+// subscribes to the producing register and returns waiting=true: no
+// event exists until the producer's wakeup schedules one.
+func (p *Processor) executeStore(op *opState, id int32, cl int, now uint64) (done uint64, waiting bool) {
 	cluster := p.clusters[cl]
 	cluster.AgenOps++
 	t := now + 1 // address generation
@@ -741,16 +771,17 @@ func (p *Processor) executeStore(op *opState, cl int, now uint64) uint64 {
 			p.clusters[c2].Mob.SetAddr(op.u.Seq, op.line, busDone)
 		}
 	}
-	// The store is ready to commit once its data operand has also been
-	// produced; completeOp re-arms the event until then.
 	if op.nSrc == 2 {
 		rt := *op.srcReady[1]
 		switch {
 		case rt == backend.NeverReady:
-			op.storePoll = true
+			op.storeWait = true
+			op.waitFrom = t
+			op.srcRF[1].Subscribe(op.srcPhys[1], id)
+			return 0, true
 		case rt > t:
 			t = rt
 		}
 	}
-	return t
+	return t, false
 }

@@ -1,0 +1,35 @@
+// Package pprofserve starts the optional net/http/pprof debug listener
+// shared by the service binaries (`simd -pprof`, `simsched -pprof`).
+package pprofserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+	"os"
+)
+
+// Maybe serves net/http/pprof on addr from a background goroutine; an
+// empty addr disables it.  The address is bound synchronously, so the
+// success banner is only printed for a listener that exists (a bind
+// failure reports the error instead, without failing the service).  The
+// listener uses http.DefaultServeMux (where net/http/pprof registers),
+// which the services' explicit handlers never share.  Keep addr off the
+// service port — the profile endpoints are unauthenticated.
+func Maybe(name, addr string) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: pprof listener: %v\n", name, err)
+		return
+	}
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: pprof listener: %v\n", name, err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "%s: pprof on http://%s/debug/pprof/\n", name, ln.Addr())
+}
