@@ -1,10 +1,16 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench docs-check
+# Pinned staticcheck release (must support the toolchain in go.mod).
+# CI installs exactly this version; locally the target runs whatever
+# `staticcheck` is on PATH and skips with an install hint otherwise.
+STATICCHECK_VERSION ?= 2025.1.1
 
-# The full tier-1 gate: formatting, vet, build, tests (race-enabled —
-# the scheduler/simd coalescing paths are explicitly concurrent), docs.
-check: fmt vet build race docs-check
+.PHONY: check fmt vet staticcheck print-staticcheck-version build test race bench docs-check demo
+
+# The full tier-1 gate: formatting, vet, staticcheck, build, tests
+# (race-enabled — the scheduler/simd coalescing paths are explicitly
+# concurrent), docs.
+check: fmt vet staticcheck build race docs-check
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -12,6 +18,18 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# CI reads the pin from here so the Makefile stays the single source
+# of truth for the staticcheck version.
+print-staticcheck-version:
+	@echo $(STATICCHECK_VERSION)
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -62,3 +80,10 @@ bench-short:
 
 bench-full:
 	$(GO) test -bench=. -benchtime=1x .
+
+# Headless end-to-end demo: the distributed serving tier through every
+# failure mode (failover, cache tiers, fleet restart, self-managing
+# ring).  Exits non-zero if the lifecycle leaks a client-visible error,
+# so CI runs it as an integration smoke test.
+demo:
+	$(GO) run ./examples/distributed

@@ -7,7 +7,13 @@
 //
 //	simd [-addr :8723] [-cache 512] [-workers N]
 //	     [-store memory|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
+//	     [-announce SCHED_URL] [-self SELF_URL]
 //	     [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
+//
+// With -announce, simd registers -self with the scheduler's ring admin
+// API on startup (retrying until the scheduler answers) and departs on
+// graceful shutdown — a restarted backend rejoins the ring by itself,
+// even after the scheduler evicted it.
 //
 // Store backends (-store):
 //
@@ -23,7 +29,9 @@
 //	POST /v1/suites             whole-suite run (single-node mode; see simsched)
 //	GET  /v1/benchmarks         available benchmark profiles
 //	GET  /v1/cache/stats        per-tier response-store counters
-//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               readiness (503 while draining or when the
+//	                            response store is down)
 //
 // Example:
 //
@@ -39,11 +47,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/pprofserve"
 	"repro/internal/simd"
 	"repro/pkg/frontendsim"
+	"repro/pkg/membership"
+	"repro/pkg/obs"
 	"repro/pkg/resultstore"
 )
 
@@ -79,9 +90,16 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
+		announce  = flag.String("announce", "", "scheduler base URL to join on startup and depart on shutdown (empty disables)")
+		self      = flag.String("self", "", "advertised base URL of this backend (required with -announce)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
+
+	if *announce != "" && *self == "" {
+		fmt.Fprintln(os.Stderr, "simd: -announce requires -self (the URL the scheduler should route to)")
+		os.Exit(2)
+	}
 
 	pprofserve.Maybe("simd", *pprofAddr)
 
@@ -98,20 +116,54 @@ func main() {
 		frontendsim.WithIntervalCycles(*interval),
 		frontendsim.WithWorkers(*workers),
 	)
+	api := simd.NewServerWithStore(eng, store, simd.WithMetrics(obs.NewRegistry()))
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           simd.NewServerWithStore(eng, store),
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM included so orchestrated stops (systemd, containers) get
+	// the same drain-and-depart path as an interactive Ctrl-C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Fail the health check first so the scheduler's probes stop
+		// routing new work here, then tell it explicitly and drain.
+		api.SetReady(false)
+		if *announce != "" {
+			departCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			if err := membership.Depart(departCtx, nil, *announce, *self); err != nil {
+				fmt.Fprintf(os.Stderr, "simd: depart: %v\n", err)
+			}
+			cancel()
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
+
+	if *announce != "" {
+		// Register with the scheduler once it answers; a restarted
+		// backend rejoins the ring this way even after eviction.
+		go func() {
+			for {
+				annCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+				err := membership.Announce(annCtx, nil, *announce, *self)
+				cancel()
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "simd: joined ring at %s as %s\n", *announce, *self)
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(time.Second):
+				}
+			}
+		}()
+	}
 
 	fmt.Fprintf(os.Stderr, "simd: listening on %s, %s store (%s)\n",
 		*addr, *storeKind, simd.Describe())

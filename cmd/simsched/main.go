@@ -11,12 +11,22 @@
 // every unique shard already in the cache is served at this tier, and
 // the suite response carries X-Cache: HIT|PARTIAL|MISS accordingly.
 //
+// The backend ring is self-managing: every backend is health-probed on
+// -probe-interval, quarantined (routed around, still probed) after
+// -quarantine-threshold consecutive failures, reinstated by one
+// successful probe, and evicted for good after -evict-after in
+// quarantine.  Backends join and leave at runtime through POST/DELETE
+// /v1/ring/members (simd's -announce flag does this automatically), and
+// GET /metrics exposes the ring, dispatch and HTTP counters in
+// Prometheus text format.
+//
 // Usage:
 //
 //	simsched -backends http://sim-1:8723,http://sim-2:8723 [-addr :8724]
 //	         [-replicas 128] [-retries -1] [-cache 512] [-workers N]
-//	         [-timeout 10m] [-warmup N] [-measure N] [-interval N]
-//	         [-pprof ADDR]
+//	         [-timeout 10m] [-probe-interval 2s] [-probe-timeout 1s]
+//	         [-quarantine-threshold 3] [-evict-after 1m] [-hedge-delay 0]
+//	         [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
 //
 // The -warmup/-measure/-interval defaults must match the backends' simd
 // flags: the scheduler canonicalizes requests under its own engine
@@ -38,10 +48,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/pprofserve"
 	"repro/pkg/frontendsim"
+	"repro/pkg/membership"
+	"repro/pkg/obs"
 	"repro/pkg/resultstore"
 	"repro/pkg/scheduler"
 )
@@ -55,6 +68,11 @@ func main() {
 		cache     = flag.Int("cache", 512, "scheduler-tier response cache entries (0 disables)")
 		workers   = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
+		probeInt  = flag.Duration("probe-interval", 2*time.Second, "backend health-probe interval")
+		probeTO   = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		quarAfter = flag.Int("quarantine-threshold", 3, "consecutive probe failures before a backend is quarantined")
+		evictAft  = flag.Duration("evict-after", time.Minute, "quarantine time before permanent eviction (negative disables)")
+		hedge     = flag.Duration("hedge-delay", 0, "hedged-request floor: speculative retry to the next ring node after max(p95, this) in flight (0 disables hedging)")
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default; match simd)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default; match simd)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default; match simd)")
@@ -85,24 +103,45 @@ func main() {
 	if *cache > 0 {
 		store = resultstore.NewMemory(*cache)
 	}
+	metrics := obs.NewRegistry()
 	sched, err := scheduler.New(eng, scheduler.Config{
 		Backends:   nodes,
 		Replicas:   *replicas,
 		Retries:    *retries,
 		HTTPClient: &http.Client{Timeout: *timeout},
 		Cache:      store,
+		HedgeDelay: *hedge,
+		Metrics:    metrics,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	members, err := membership.New(membership.Config{
+		ProbeInterval:   *probeInt,
+		ProbeTimeout:    *probeTO,
+		QuarantineAfter: *quarAfter,
+		EvictAfter:      *evictAft,
+		OnChange:        sched.OnMembershipChange(),
+		Metrics:         metrics,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}, nodes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	members.Start()
+	defer members.Close()
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           scheduler.NewServer(sched),
+		Addr: *addr,
+		Handler: scheduler.NewServer(sched,
+			scheduler.WithMembership(members), scheduler.WithMetrics(metrics)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()

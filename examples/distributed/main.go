@@ -14,9 +14,13 @@
 //     surviving replicas straight from the shared store (failover with
 //     zero recomputation),
 //  2. a scheduler-tier response cache answers a repeated suite without
-//     dispatching to any backend at all, and
+//     dispatching to any backend at all,
 //  3. the whole fleet "restarts" — fresh engines, fresh memory — and the
-//     reopened disk tier still serves every key.
+//     reopened disk tier still serves every key, and
+//  4. the ring manages itself: health probes quarantine a killed
+//     backend, evict it past the deadline, and a restarted replica
+//     rejoins through the admin API — all under continuous client load
+//     with zero visible errors, watched through /metrics.
 package main
 
 import (
@@ -24,12 +28,18 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/simd"
 	"repro/pkg/frontendsim"
+	"repro/pkg/membership"
+	"repro/pkg/obs"
 	"repro/pkg/resultstore"
 	"repro/pkg/scheduler"
 )
@@ -74,6 +84,27 @@ func urls(backends []*httptest.Server) []string {
 	return out
 }
 
+// waitReady polls each backend's /healthz until it answers 200 — never
+// sleep for "probably started by now"; ask the readiness endpoint.
+func waitReady(backends []string) {
+	deadline := time.Now().Add(10 * time.Second)
+	for _, u := range backends {
+		for {
+			resp, err := http.Get(u + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("backend %s never became ready", u))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
 func suite(frontends int) frontendsim.SuiteRequest {
 	return frontendsim.SuiteRequest{
 		Benchmarks: []string{"gzip", "gcc", "mcf", "crafty", "parser", "swim"},
@@ -108,6 +139,7 @@ func main() {
 			b.Close()
 		}
 	}()
+	waitReady(urls(backends))
 	eng := frontendsim.New(opts...)
 	sched, err := scheduler.New(eng, scheduler.Config{Backends: urls(backends)})
 	if err != nil {
@@ -217,6 +249,7 @@ func main() {
 			b.Close()
 		}
 	}()
+	waitReady(urls(backends2))
 	sched2, err := scheduler.New(eng, scheduler.Config{Backends: urls(backends2)})
 	if err != nil {
 		fatal(err)
@@ -232,5 +265,104 @@ func main() {
 	for _, tier := range reopened.Stats() {
 		fmt.Printf("  %-6s tier: %d entries, %d hits, %d misses\n",
 			tier.Tier, tier.Entries, tier.Hits, tier.Misses)
+	}
+	fmt.Println()
+
+	// --- Act 4: the self-managing ring. ---
+	// The same fleet, now owned by a membership registry: active health
+	// probes, quarantine on consecutive failures, eviction past a
+	// deadline, rejoin through the scheduler's admin API — all while a
+	// client hammers the fleet and must never see an error.
+	fmt.Println("Self-managing ring: kill -> quarantine -> evict -> rejoin, under load:")
+	metrics := obs.NewRegistry()
+	ringSched, err := scheduler.New(eng, scheduler.Config{
+		Backends: urls(backends2),
+		Metrics:  metrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	members, err := membership.New(membership.Config{
+		ProbeInterval:   25 * time.Millisecond,
+		ProbeTimeout:    time.Second,
+		QuarantineAfter: 2,
+		EvictAfter:      150 * time.Millisecond,
+		OnChange:        ringSched.OnMembershipChange(),
+		Metrics:         metrics,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}, urls(backends2))
+	if err != nil {
+		fatal(err)
+	}
+	members.Start()
+	defer members.Close()
+	admin := httptest.NewServer(scheduler.NewServer(ringSched,
+		scheduler.WithMembership(members), scheduler.WithMetrics(metrics)))
+	defer admin.Close()
+
+	// Continuous client load against the ring for the whole lifecycle.
+	var clientErrors, clientRequests atomic.Int64
+	loadDone := make(chan struct{})
+	var loadWG sync.WaitGroup
+	loadWG.Add(1)
+	go func() {
+		defer loadWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-loadDone:
+				return
+			default:
+			}
+			bench := suite(2).Benchmarks[i%6]
+			_, err := ringSched.Dispatch(ctx, frontendsim.Request{Benchmark: bench, Frontends: 2})
+			clientRequests.Add(1)
+			if err != nil {
+				clientErrors.Add(1)
+			}
+		}
+	}()
+	waitFor := func(what string, cond func() bool) {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				fatal(fmt.Errorf("timed out waiting for %s", what))
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	victim := backends2[0]
+	fmt.Printf("  killing %s\n", victim.URL)
+	victim.Close()
+	waitFor("quarantine", func() bool { return len(members.Active()) == 2 })
+	waitFor("eviction", func() bool { return len(members.Snapshot()) == 2 })
+
+	// "Restart" the backend: a fresh replica over the same shared store,
+	// announcing itself to the scheduler the way `simd -announce` does.
+	replacement := newBackends(1, reopened)[0]
+	defer replacement.Close()
+	waitReady([]string{replacement.URL})
+	if err := membership.Announce(ctx, nil, admin.URL, replacement.URL); err != nil {
+		fatal(err)
+	}
+	waitFor("rejoin", func() bool { return len(members.Active()) == 3 })
+	close(loadDone)
+	loadWG.Wait()
+
+	st = ringSched.Stats()
+	fmt.Printf("  ring epoch %d, %d members active, %d ring swaps\n",
+		members.Epoch(), len(members.Active()), st.RingSwaps)
+	fmt.Printf("  client saw %d errors in %d requests during the whole lifecycle (%d failovers absorbed)\n",
+		clientErrors.Load(), clientRequests.Load(), st.Retried)
+	fmt.Println("  /metrics excerpt (simsched serves the full exposition on GET /metrics):")
+	for _, line := range strings.Split(metrics.Render(), "\n") {
+		if strings.HasPrefix(line, "ring_transitions_total") || strings.HasPrefix(line, "ring_members") {
+			fmt.Printf("    %s\n", line)
+		}
+	}
+	if clientErrors.Load() > 0 {
+		fatal(fmt.Errorf("client-visible errors during ring lifecycle"))
 	}
 }

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/singleflight"
 	"repro/pkg/frontendsim"
+	"repro/pkg/obs"
 	"repro/pkg/resultstore"
 )
 
@@ -22,11 +23,18 @@ import (
 //	POST /v1/suites             JSON frontendsim.SuiteRequest -> JSON SuiteResult
 //	GET  /v1/benchmarks         the available benchmark profiles
 //	GET  /v1/cache/stats        response-cache counters
-//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus text exposition (with WithMetrics)
+//	GET  /healthz               readiness: 200 while serving, 503 when
+//	                            draining or the response store is down
 type Server struct {
-	eng   *frontendsim.Engine
-	store resultstore.Store
-	mux   *http.ServeMux
+	eng     *frontendsim.Engine
+	store   resultstore.Store
+	mux     *http.ServeMux
+	metrics *obs.Registry
+	// ready gates /healthz: SetReady(false) flips the health check to
+	// 503 so the scheduler's probes quarantine this backend (draining)
+	// while in-flight and even new requests still complete.
+	ready atomic.Bool
 	// slots bounds concurrent simulations at the Engine's worker count;
 	// excess requests queue here (or give up when their context ends)
 	// instead of oversubscribing the CPU with unbounded handler
@@ -43,11 +51,21 @@ type Server struct {
 	coalesced atomic.Uint64
 }
 
+// Option configures NewServer / NewServerWithStore.
+type Option func(*Server)
+
+// WithMetrics mounts reg's exposition on GET /metrics, instruments
+// every route with the standard HTTP server metrics, and re-exports
+// the response store and coalescing counters.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(s *Server) { s.metrics = reg }
+}
+
 // NewServer builds a Server over eng with an in-memory LRU response
 // store of cacheSize entries (cacheSize < 1 disables caching).  At most
 // eng.Workers() simulations run concurrently.
-func NewServer(eng *frontendsim.Engine, cacheSize int) *Server {
-	return NewServerWithStore(eng, resultstore.NewMemory(cacheSize))
+func NewServer(eng *frontendsim.Engine, cacheSize int, opts ...Option) *Server {
+	return NewServerWithStore(eng, resultstore.NewMemory(cacheSize), opts...)
 }
 
 // NewServerWithStore builds a Server over eng serving its responses
@@ -55,23 +73,100 @@ func NewServer(eng *frontendsim.Engine, cacheSize int) *Server {
 // survive restarts; a store shared across replicas lets one backend
 // serve a peer's keys).  The caller owns the store's lifecycle and
 // closes it after shutting the server down.
-func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store) *Server {
+func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store, opts ...Option) *Server {
 	s := &Server{
 		eng:   eng,
 		store: store,
 		mux:   http.NewServeMux(),
 		slots: make(chan struct{}, eng.Workers()),
 	}
-	s.mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
-	s.mux.HandleFunc("POST /v1/simulations/stream", s.handleStream)
-	s.mux.HandleFunc("POST /v1/suites", s.handleSuite)
-	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
-	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	s.ready.Store(true)
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handle("POST /v1/simulations", s.handleSimulate)
+	s.handle("POST /v1/simulations/stream", s.handleStream)
+	s.handle("POST /v1/suites", s.handleSuite)
+	s.handle("GET /v1/benchmarks", s.handleBenchmarks)
+	s.handle("GET /v1/cache/stats", s.handleCacheStats)
+	s.handle("GET /healthz", s.handleHealthz)
+	if s.metrics != nil {
+		s.mux.Handle("GET /metrics", s.metrics.Handler())
+		s.registerMetrics(s.metrics)
+	}
 	return s
+}
+
+// handle mounts pattern, instrumented when a metrics registry is
+// configured (the handler label is the route pattern).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	if s.metrics != nil {
+		s.mux.Handle(pattern, s.metrics.InstrumentHandlerFunc(pattern, h))
+		return
+	}
+	s.mux.HandleFunc(pattern, h)
+}
+
+// registerMetrics re-exports the server's counters on reg.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	reg.Sampled("simd_store_ops_total", "Response store counters, by tier.",
+		obs.TypeCounter, []string{"tier", "op"}, func(emit func([]string, float64)) {
+			for _, t := range s.store.Stats() {
+				emit([]string{t.Tier, "hit"}, float64(t.Hits))
+				emit([]string{t.Tier, "miss"}, float64(t.Misses))
+				emit([]string{t.Tier, "set"}, float64(t.Sets))
+				emit([]string{t.Tier, "error"}, float64(t.Errors))
+			}
+		})
+	reg.Sampled("simd_store_entries", "Response store entries, by tier.",
+		obs.TypeGauge, []string{"tier"}, func(emit func([]string, float64)) {
+			for _, t := range s.store.Stats() {
+				emit([]string{t.Tier}, float64(t.Entries))
+			}
+		})
+	reg.Sampled("simd_coalesced_total", "Requests served by joining an in-flight identical simulation.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.coalesced.Load()))
+		})
+	reg.Sampled("simd_slots_in_use", "Simulation slots currently running (capacity = engine workers).",
+		obs.TypeGauge, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(len(s.slots)))
+		})
+	reg.Sampled("simd_ready", "1 while the server reports ready on /healthz, 0 while draining.",
+		obs.TypeGauge, nil, func(emit func([]string, float64)) {
+			if s.ready.Load() {
+				emit(nil, 1)
+			} else {
+				emit(nil, 0)
+			}
+		})
+}
+
+// SetReady flips the /healthz verdict.  cmd/simd calls SetReady(false)
+// when shutdown begins so the scheduler's membership probes stop
+// routing new work here while the listener drains.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// healthProbeKey is the store key the readiness check peeks; it never
+// exists, the probe only cares whether the store answers at all.
+const healthProbeKey = "healthz-store-probe"
+
+// handleHealthz is the readiness check the membership registry probes:
+// 503 while draining (SetReady(false)) or when the response store
+// errors (closed or a failed disk tier) — a backend that cannot serve
+// its store should be quarantined, not handed traffic.  The store peek
+// stays out of the cache hit/miss counters.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("simd: draining"))
+		return
+	}
+	if _, _, err := resultstore.Peek(r.Context(), s.store, healthProbeKey); err != nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("simd: response store unavailable: %w", err))
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
 }
 
 // ServeHTTP implements http.Handler.
@@ -308,6 +403,7 @@ func Describe() string {
 		"POST /v1/suites",
 		"GET /v1/benchmarks",
 		"GET /v1/cache/stats",
+		"GET /metrics",
 		"GET /healthz",
 	}, ", ")
 }

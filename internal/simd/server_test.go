@@ -11,6 +11,8 @@ import (
 
 	"repro/internal/core"
 	"repro/pkg/frontendsim"
+	"repro/pkg/obs"
+	"repro/pkg/resultstore"
 )
 
 // testServer runs short simulations so the HTTP tests stay fast.
@@ -209,5 +211,78 @@ func TestHealthz(t *testing.T) {
 	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
 	if w.Code != http.StatusOK {
 		t.Errorf("healthz status = %d", w.Code)
+	}
+}
+
+func getHealthz(srv http.Handler) int {
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	return w.Code
+}
+
+// TestHealthzReadiness pins the readiness semantics the membership
+// probes depend on: /healthz goes 503 while draining (SetReady(false))
+// and when the response store stops answering (closed), and recovers
+// when readiness is restored.
+func TestHealthzReadiness(t *testing.T) {
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(30_000),
+		frontendsim.WithMeasureOps(60_000),
+	)
+	store := resultstore.NewMemory(4)
+	srv := NewServerWithStore(eng, store)
+
+	if got := getHealthz(srv); got != http.StatusOK {
+		t.Fatalf("ready healthz = %d, want 200", got)
+	}
+	srv.SetReady(false)
+	if got := getHealthz(srv); got != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz = %d, want 503", got)
+	}
+	srv.SetReady(true)
+	if got := getHealthz(srv); got != http.StatusOK {
+		t.Fatalf("restored healthz = %d, want 200", got)
+	}
+	// The readiness peek must not disturb the cache counters.
+	if tiers := store.Stats(); tiers[0].Hits != 0 || tiers[0].Misses != 0 {
+		t.Errorf("health probes leaked into store stats: %+v", tiers[0])
+	}
+	store.Close()
+	if got := getHealthz(srv); got != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with closed store = %d, want 503", got)
+	}
+}
+
+// TestMetricsEndpoint exercises the instrumented routes and the
+// re-exported store counters.
+func TestMetricsEndpoint(t *testing.T) {
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(30_000),
+		frontendsim.WithMeasureOps(60_000),
+	)
+	srv := NewServer(eng, 16, WithMetrics(obs.NewRegistry()))
+	if w := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`); w.Code != http.StatusOK {
+		t.Fatalf("simulate status = %d", w.Code)
+	}
+	if w := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`); w.Code != http.StatusOK {
+		t.Fatalf("cached simulate status = %d", w.Code)
+	}
+
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	exposition := w.Body.String()
+	for _, want := range []string{
+		`http_requests_total{handler="POST /v1/simulations",code="200"} 2`,
+		`simd_store_ops_total{tier="memory",op="hit"} 1`,
+		`simd_store_ops_total{tier="memory",op="miss"} 1`,
+		`simd_ready 1`,
+		"http_request_duration_seconds_bucket",
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// InstrumentHandler wraps next with the standard HTTP server metrics,
+// labelled by handler (use the route pattern, e.g. "/v1/simulations")
+// and status code:
+//
+//	http_requests_in_flight{handler}        gauge
+//	http_requests_total{handler,code}       counter
+//	http_request_duration_seconds{handler,code} histogram
+//
+// The three families are shared across every instrumented handler of the
+// registry, so a process exposes one coherent request surface.
+func (r *Registry) InstrumentHandler(handler string, next http.Handler) http.Handler {
+	inflight := r.GaugeVec("http_requests_in_flight",
+		"Requests currently being served.", "handler").With(handler)
+	requests := r.CounterVec("http_requests_total",
+		"Requests served, by handler and status code.", "handler", "code")
+	duration := r.HistogramVec("http_request_duration_seconds",
+		"Request duration in seconds, by handler and status code.", nil, "handler", "code")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		inflight.Inc()
+		defer inflight.Dec()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, req)
+		code := strconv.Itoa(sw.code)
+		requests.With(handler, code).Inc()
+		duration.With(handler, code).Observe(time.Since(start).Seconds())
+	})
+}
+
+// InstrumentHandlerFunc is InstrumentHandler over a HandlerFunc.
+func (r *Registry) InstrumentHandlerFunc(handler string, next http.HandlerFunc) http.Handler {
+	return r.InstrumentHandler(handler, next)
+}
+
+// statusWriter records the response status code while passing the
+// streaming capabilities (Flusher, Hijacker) through — the NDJSON
+// endpoints flush per line.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher when the underlying writer does.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack implements http.Hijacker when the underlying writer does.
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}

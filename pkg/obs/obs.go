@@ -1,0 +1,410 @@
+// Package obs is a small, dependency-free metrics plane: a registry of
+// counters, gauges and histograms (optionally labelled), rendered in the
+// Prometheus text exposition format on GET /metrics, plus HTTP server
+// middleware (in-flight gauge, request counter and duration histogram by
+// handler and status code — the Thanos extprom/http instrument_server
+// shape).  Both simd and simsched mount one Registry per process and
+// re-export their existing cache/singleflight/store/ring counters
+// through it, so a fleet is scrapeable without importing a client
+// library the build can't have.
+//
+// The package is intentionally a subset of the Prometheus data model:
+// metric families are registered once (re-registering the same
+// name/type/labels returns the existing family), children are created on
+// first use of a label-value combination, and exposition order is the
+// registration order — deterministic output for tests and diffs.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type is a metric family's kind.
+type Type string
+
+// The supported family kinds.
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// DefBuckets are the default histogram buckets (seconds), matching the
+// Prometheus client defaults — fine-grained around typical request
+// latencies.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them.  All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// family is one metric family: a name, a type and its children (one per
+// label-value combination).
+type family struct {
+	name    string
+	help    string
+	typ     Type
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string // child keys in creation order
+
+	// sample, when non-nil, makes this a collected family: children are
+	// ignored and the callback emits the current values at render time.
+	sample func(emit func(labelValues []string, value float64))
+}
+
+// child is one labelled series.  Counters and gauges use bits (float64
+// bits); histograms use counts/sumBits/count.
+type child struct {
+	labelValues []string
+	bits        atomic.Uint64
+
+	counts  []atomic.Uint64 // per-bucket (non-cumulative) observation counts
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func (c *child) addFloat(v float64) {
+	for {
+		old := c.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (c *child) addSum(v float64) {
+	for {
+		old := c.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if c.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// register returns the family for name, creating it on first use.  A
+// second registration with a different type, label set or help panics:
+// that is a programming error, not a runtime condition.
+func (r *Registry) register(name, help string, typ Type, labels []string, buckets []float64) *family {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different type or label set", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: map[string]*child{},
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the child for labelValues, creating it on first use.
+func (f *family) get(labelValues []string) *child {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q got %d label values, want %d",
+			f.name, len(labelValues), len(f.labels)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labelValues: append([]string(nil), labelValues...)}
+		if f.typ == TypeHistogram {
+			c.counts = make([]atomic.Uint64, len(f.buckets)+1) // +1: the +Inf bucket
+		}
+		f.children[key] = c
+		f.order = append(f.order, key)
+	}
+	return c
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ c *child }
+
+// Inc adds 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Add adds v (must be >= 0).
+func (c Counter) Add(v float64) {
+	if v < 0 {
+		panic("obs: counter decreased")
+	}
+	c.c.addFloat(v)
+}
+
+// Value returns the current value (tests and snapshots).
+func (c Counter) Value() float64 { return math.Float64frombits(c.c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ c *child }
+
+// Set replaces the value.
+func (g Gauge) Set(v float64) { g.c.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (negative to subtract).
+func (g Gauge) Add(v float64) { g.c.addFloat(v) }
+
+// Inc adds 1.
+func (g Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g Gauge) Value() float64 { return math.Float64frombits(g.c.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	f *family
+	c *child
+}
+
+// Observe records v.
+func (h Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.f.buckets, v) // first bucket with upper bound >= v
+	h.c.counts[i].Add(1)
+	h.c.count.Add(1)
+	h.c.addSum(v)
+}
+
+// Count returns the total number of observations.
+func (h Histogram) Count() uint64 { return h.c.count.Load() }
+
+// Counter registers (or returns) an unlabelled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	f := r.register(name, help, TypeCounter, nil, nil)
+	return Counter{c: f.get(nil)}
+}
+
+// Gauge registers (or returns) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	f := r.register(name, help, TypeGauge, nil, nil)
+	return Gauge{c: f.get(nil)}
+}
+
+// Histogram registers (or returns) an unlabelled histogram over buckets
+// (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, TypeHistogram, nil, buckets)
+	return Histogram{f: f, c: f.get(nil)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, TypeCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values (created on first
+// use).
+func (v *CounterVec) With(labelValues ...string) Counter {
+	return Counter{c: v.f.get(labelValues)}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, TypeGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(labelValues ...string) Gauge {
+	return Gauge{c: v.f.get(labelValues)}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a labelled histogram family over
+// buckets (nil selects DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{f: r.register(name, help, TypeHistogram, labels, buckets)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(labelValues ...string) Histogram {
+	return Histogram{f: v.f, c: v.f.get(labelValues)}
+}
+
+// Sampled registers a collected family: at every render, sample is
+// called and emits the family's current series — the bridge for
+// counters that already live elsewhere (store tiers, ring stats,
+// membership states) and shouldn't be double-booked.  typ must be
+// TypeCounter or TypeGauge.  The callback must be safe for concurrent
+// use and emit label value slices of len(labels).
+func (r *Registry) Sampled(name, help string, typ Type, labels []string, sample func(emit func(labelValues []string, value float64))) {
+	if typ != TypeCounter && typ != TypeGauge {
+		panic("obs: sampled families must be counters or gauges")
+	}
+	f := r.register(name, help, typ, labels, nil)
+	f.mu.Lock()
+	f.sample = sample
+	f.mu.Unlock()
+}
+
+// WriteTo renders every family in the Prometheus text exposition format,
+// in registration order, with children in creation (or emission) order.
+func (r *Registry) WriteTo(w *strings.Builder) {
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.render(w)
+	}
+}
+
+// Render returns the full exposition as a string.
+func (r *Registry) Render() string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+// Handler serves the exposition on GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Render())
+	})
+}
+
+func (f *family) render(w *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+
+	f.mu.Lock()
+	sample := f.sample
+	if sample != nil {
+		f.mu.Unlock()
+		sample(func(labelValues []string, value float64) {
+			writeSeries(w, f.name, f.labels, labelValues, "", "", value)
+		})
+		return
+	}
+	keys := append([]string(nil), f.order...)
+	children := make([]*child, len(keys))
+	for i, k := range keys {
+		children[i] = f.children[k]
+	}
+	f.mu.Unlock()
+
+	for _, c := range children {
+		switch f.typ {
+		case TypeHistogram:
+			cum := uint64(0)
+			for i, ub := range f.buckets {
+				cum += c.counts[i].Load()
+				writeSeries(w, f.name+"_bucket", f.labels, c.labelValues,
+					"le", formatFloat(ub), float64(cum))
+			}
+			cum += c.counts[len(f.buckets)].Load()
+			writeSeries(w, f.name+"_bucket", f.labels, c.labelValues, "le", "+Inf", float64(cum))
+			writeSeries(w, f.name+"_sum", f.labels, c.labelValues, "", "", math.Float64frombits(c.sumBits.Load()))
+			writeSeries(w, f.name+"_count", f.labels, c.labelValues, "", "", float64(c.count.Load()))
+		default:
+			writeSeries(w, f.name, f.labels, c.labelValues, "", "", math.Float64frombits(c.bits.Load()))
+		}
+	}
+}
+
+// writeSeries writes one sample line; extraName/extraValue append a
+// trailing label (the histogram "le").
+func writeSeries(w *strings.Builder, name string, labels, values []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			val := ""
+			if i < len(values) {
+				val = values[i]
+			}
+			fmt.Fprintf(w, "%s=%q", l, escapeLabel(val))
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			fmt.Fprintf(w, "%s=%q", extraName, extraValue)
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	// %q already escapes quotes and backslashes; nothing extra needed
+	// beyond keeping newlines out of the raw value.
+	return strings.ReplaceAll(s, "\n", " ")
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("queue_depth", "Current queue depth.")
+	g.Set(7)
+	g.Dec()
+
+	out := r.Render()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.\n# TYPE jobs_total counter\njobs_total 3\n",
+		"# TYPE queue_depth gauge\nqueue_depth 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelledFamilies(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("requests_total", "Requests.", "handler", "code")
+	v.With("/a", "200").Add(5)
+	v.With("/a", "500").Inc()
+	v.With("/b", "200").Inc()
+
+	out := r.Render()
+	for _, want := range []string{
+		`requests_total{handler="/a",code="200"} 5`,
+		`requests_total{handler="/a",code="500"} 1`,
+		`requests_total{handler="/b",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Re-registering the same family returns it; a different label set
+	// panics.
+	if got := r.CounterVec("requests_total", "Requests.", "handler", "code"); got.f != v.f {
+		t.Error("re-registration did not return the existing family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.CounterVec("requests_total", "Requests.", "handler")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := r.Render()
+	// le is inclusive: 0.1 lands in the 0.1 bucket.
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+		`latency_seconds_sum 55.65`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestSampledFamily(t *testing.T) {
+	r := NewRegistry()
+	hits := uint64(41)
+	r.Sampled("store_hits_total", "Store hits by tier.", TypeCounter, []string{"tier"},
+		func(emit func([]string, float64)) {
+			emit([]string{"memory"}, float64(hits))
+			emit([]string{"disk"}, 3)
+		})
+	hits++ // sampled at render time, not at registration
+	out := r.Render()
+	for _, want := range []string{
+		`store_hits_total{tier="memory"} 42`,
+		`store_hits_total{tier="disk"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInstrumentHandler(t *testing.T) {
+	r := NewRegistry()
+	h := r.InstrumentHandlerFunc("/v1/thing", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("fail") != "" {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "?fail=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	out := r.Render()
+	for _, want := range []string{
+		`http_requests_total{handler="/v1/thing",code="200"} 3`,
+		`http_requests_total{handler="/v1/thing",code="502"} 1`,
+		`http_requests_in_flight{handler="/v1/thing"} 0`,
+		`http_request_duration_seconds_count{handler="/v1/thing",code="200"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentUse drives every metric kind from many goroutines while
+// rendering — run under -race this is the data-race gate.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "", "k")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", nil)
+	r.Sampled("s", "", TypeGauge, nil, func(emit func([]string, float64)) {
+		emit(nil, 1)
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				v.With(fmt.Sprintf("k%d", i%3)).Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 100)
+				if j%100 == 0 {
+					_ = r.Render()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := v.With("k0").Value() + v.With("k1").Value() + v.With("k2").Value(); got != 4000 {
+		t.Errorf("counter total = %v, want 4000", got)
+	}
+	if g.Value() != 4000 {
+		t.Errorf("gauge = %v, want 4000", g.Value())
+	}
+	if h.Count() != 4000 {
+		t.Errorf("histogram count = %d, want 4000", h.Count())
+	}
+}

@@ -61,6 +61,9 @@ func (m *Memory) Get(_ context.Context, key string) ([]byte, bool, error) {
 func (m *Memory) Peek(_ context.Context, key string) ([]byte, bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, errClosed
+	}
 	el, ok := m.entries[key]
 	if !ok {
 		return nil, false, nil

@@ -1,0 +1,139 @@
+package scheduler
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/pkg/frontendsim"
+)
+
+// latencyTracker keeps a sliding window of successful dispatch
+// latencies and answers percentile queries — the hedge trigger adapts
+// to what the fleet actually serves instead of a guessed constant.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [256]time.Duration // ring buffer
+	n       uint64             // total observations
+}
+
+// minHedgeSamples is how many latencies must be observed before the
+// percentile is trusted; until then the configured HedgeDelay alone
+// drives hedging.
+const minHedgeSamples = 16
+
+func (t *latencyTracker) observe(d time.Duration) {
+	t.mu.Lock()
+	t.samples[t.n%uint64(len(t.samples))] = d
+	t.n++
+	t.mu.Unlock()
+}
+
+// percentile returns the p-quantile (0 < p < 1) of the window, or 0
+// while fewer than minHedgeSamples latencies have been observed.
+func (t *latencyTracker) percentile(p float64) time.Duration {
+	t.mu.Lock()
+	n := t.n
+	if n < minHedgeSamples {
+		t.mu.Unlock()
+		return 0
+	}
+	if n > uint64(len(t.samples)) {
+		n = uint64(len(t.samples))
+	}
+	window := make([]time.Duration, n)
+	copy(window, t.samples[:n])
+	t.mu.Unlock()
+	sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+	idx := int(p * float64(len(window)-1))
+	return window[idx]
+}
+
+// hedgeAfter is the in-flight duration beyond which a dispatch fires a
+// speculative attempt to the next ring node: the observed p95 dispatch
+// latency, never less than the configured HedgeDelay floor.
+func (s *Scheduler) hedgeAfter() time.Duration {
+	if p := s.lat.percentile(0.95); p > s.hedgeDelay {
+		return p
+	}
+	return s.hedgeDelay
+}
+
+// dispatchHedged walks nodes like the sequential ring walk, but with
+// tail-latency hedging: while an attempt is in flight, a timer at
+// hedgeAfter() launches the next node speculatively; the first
+// successful response wins and the losers' requests are cancelled.
+// Failures behave exactly like the sequential walk — a retryable error
+// moves on to the next node (counted as Retried), a permanent error or
+// the caller's cancellation aborts everything.
+func (s *Scheduler) dispatchHedged(ctx context.Context, nodes []string, req frontendsim.Request) (*frontendsim.Result, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap every losing attempt on return
+
+	type attempt struct {
+		idx    int
+		hedged bool
+		res    *frontendsim.Result
+		err    error
+		took   time.Duration
+	}
+	resc := make(chan attempt, len(nodes))
+	launched, pending := 0, 0
+	launch := func(hedged bool) {
+		idx := launched
+		launched++
+		pending++
+		if idx > 0 {
+			if hedged {
+				s.hedged.Add(1)
+			} else {
+				s.retried.Add(1)
+			}
+		}
+		go func() {
+			start := time.Now()
+			res, err := s.client.Simulate(hctx, nodes[idx], req)
+			resc <- attempt{idx: idx, hedged: hedged, res: res, err: err, took: time.Since(start)}
+		}()
+	}
+	launch(false)
+	timer := time.NewTimer(s.hedgeAfter())
+	defer timer.Stop()
+
+	var lastErr error
+	for pending > 0 {
+		select {
+		case a := <-resc:
+			pending--
+			if a.err == nil {
+				s.lat.observe(a.took)
+				if a.hedged {
+					s.hedgeWins.Add(1)
+				}
+				return a.res, nil
+			}
+			if permanent(ctx, a.err) {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
+				return nil, a.err
+			}
+			lastErr = a.err
+			if pending == 0 && launched < len(nodes) {
+				// Every in-flight attempt failed: fall back to the plain
+				// sequential walk on the next node.
+				launch(false)
+				timer.Reset(s.hedgeAfter())
+			}
+		case <-timer.C:
+			if launched < len(nodes) {
+				launch(true)
+				timer.Reset(s.hedgeAfter())
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, &ExhaustedError{Benchmark: req.Benchmark, Attempts: launched, Last: lastErr}
+}

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/singleflight"
 	"repro/pkg/frontendsim"
+	"repro/pkg/obs"
 	"repro/pkg/resultstore"
 )
 
@@ -35,6 +37,15 @@ type Config struct {
 	// successful dispatch.  A fully cached suite is answered without
 	// contacting a single backend.  nil disables the tier.
 	Cache resultstore.Store
+	// HedgeDelay enables hedged dispatches for tail-latency control:
+	// when a shard's first attempt has been in flight longer than the
+	// observed p95 dispatch latency (never less than HedgeDelay itself),
+	// a second attempt fires to the next ring node and the first
+	// response wins.  0 disables hedging.
+	HedgeDelay time.Duration
+	// Metrics, when set, re-exports the dispatch counters and the
+	// scheduler-tier store counters on the registry (GET /metrics).
+	Metrics *obs.Registry
 }
 
 // Stats are cumulative dispatch counters.
@@ -52,6 +63,13 @@ type Stats struct {
 	// response store without contacting a backend — directly, or by
 	// joining an in-flight store lookup another caller started.
 	CacheHits uint64 `json:"cache_hits"`
+	// Hedged counts speculative second attempts launched because the
+	// first exceeded the hedge latency threshold.
+	Hedged uint64 `json:"hedged"`
+	// HedgeWins counts dispatches where a hedged attempt answered first.
+	HedgeWins uint64 `json:"hedge_wins"`
+	// RingSwaps counts atomic ring replacements (SetBackends).
+	RingSwaps uint64 `json:"ring_swaps"`
 }
 
 // Scheduler is the multi-node suite frontend: it expands a suite into
@@ -67,17 +85,26 @@ type Stats struct {
 //
 // A Scheduler is safe for concurrent use.
 type Scheduler struct {
-	eng     *frontendsim.Engine
-	ring    *Ring
-	client  *Client
-	retries int
-	cache   resultstore.Store // nil disables the scheduler-tier store
-	flight  singleflight.Group[outcome]
+	eng      *frontendsim.Engine
+	ring     atomic.Pointer[Ring]
+	client   *Client
+	replicas int
+	// retries keeps the Config semantics (0 = all remaining, <0 = none)
+	// and is resolved against the current ring size on every dispatch —
+	// the ring can grow and shrink at runtime.
+	retries    int
+	hedgeDelay time.Duration
+	lat        latencyTracker
+	cache      resultstore.Store // nil disables the scheduler-tier store
+	flight     singleflight.Group[outcome]
 
 	dispatched atomic.Uint64
 	retried    atomic.Uint64
 	coalesced  atomic.Uint64
 	cacheHits  atomic.Uint64
+	hedged     atomic.Uint64
+	hedgeWins  atomic.Uint64
+	ringSwaps  atomic.Uint64
 }
 
 // outcome is one single-flighted dispatch's result plus whether the
@@ -96,23 +123,84 @@ func New(eng *frontendsim.Engine, cfg Config) (*Scheduler, error) {
 	if err != nil {
 		return nil, err
 	}
-	retries := cfg.Retries
-	if max := len(ring.Nodes()) - 1; retries == 0 || retries > max {
-		retries = max
-	} else if retries < 0 {
-		retries = 0
+	s := &Scheduler{
+		eng:        eng,
+		client:     NewClient(cfg.HTTPClient),
+		replicas:   cfg.Replicas,
+		retries:    cfg.Retries,
+		hedgeDelay: cfg.HedgeDelay,
+		cache:      cfg.Cache,
 	}
-	return &Scheduler{
-		eng:     eng,
-		ring:    ring,
-		client:  NewClient(cfg.HTTPClient),
-		retries: retries,
-		cache:   cfg.Cache,
-	}, nil
+	s.ring.Store(ring)
+	if cfg.Metrics != nil {
+		s.registerMetrics(cfg.Metrics)
+	}
+	return s, nil
 }
 
-// Ring returns the scheduler's backend ring.
-func (s *Scheduler) Ring() *Ring { return s.ring }
+// registerMetrics re-exports the scheduler counters on reg.
+func (s *Scheduler) registerMetrics(reg *obs.Registry) {
+	reg.Sampled("scheduler_dispatches_total", "Dispatch outcomes by kind.",
+		obs.TypeCounter, []string{"kind"}, func(emit func([]string, float64)) {
+			st := s.Stats()
+			emit([]string{"dispatched"}, float64(st.Dispatched))
+			emit([]string{"retried"}, float64(st.Retried))
+			emit([]string{"coalesced"}, float64(st.Coalesced))
+			emit([]string{"cache_hit"}, float64(st.CacheHits))
+			emit([]string{"hedged"}, float64(st.Hedged))
+			emit([]string{"hedge_win"}, float64(st.HedgeWins))
+		})
+	reg.Sampled("scheduler_ring_swaps_total", "Atomic ring replacements.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.ringSwaps.Load()))
+		})
+	reg.Sampled("scheduler_ring_size", "Backends in the routing ring.",
+		obs.TypeGauge, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(len(s.Ring().Nodes())))
+		})
+	reg.Sampled("scheduler_store_ops_total", "Scheduler-tier response store counters.",
+		obs.TypeCounter, []string{"tier", "op"}, func(emit func([]string, float64)) {
+			for _, t := range s.CacheStats() {
+				emit([]string{t.Tier, "hit"}, float64(t.Hits))
+				emit([]string{t.Tier, "miss"}, float64(t.Misses))
+				emit([]string{t.Tier, "set"}, float64(t.Sets))
+				emit([]string{t.Tier, "error"}, float64(t.Errors))
+			}
+		})
+}
+
+// OnMembershipChange returns a callback for membership.Config.OnChange
+// that atomically swaps the scheduler's ring to each new active set.  A
+// total outage (empty active set) keeps the last ring in place: routing
+// to recently-dead backends degrades to per-request failures, which
+// beats having no ring at all when the fleet comes back.
+func (s *Scheduler) OnMembershipChange() func(epoch uint64, active []string) {
+	return func(_ uint64, active []string) {
+		if len(active) == 0 {
+			return
+		}
+		s.SetBackends(active)
+	}
+}
+
+// Ring returns the scheduler's current backend ring.  The ring is
+// immutable; SetBackends replaces it wholesale.
+func (s *Scheduler) Ring() *Ring { return s.ring.Load() }
+
+// SetBackends atomically replaces the routing ring with one over nodes.
+// In-flight dispatches keep the ring they started with (a request to a
+// removed backend runs to completion); new dispatches shard over the new
+// set.  An empty node list is rejected — the last ring stays in place so
+// a total outage degrades to per-request failures instead of a nil ring.
+func (s *Scheduler) SetBackends(nodes []string) error {
+	ring, err := NewRing(nodes, s.replicas)
+	if err != nil {
+		return err
+	}
+	s.ring.Store(ring)
+	s.ringSwaps.Add(1)
+	return nil
+}
 
 // Stats returns a snapshot of the cumulative dispatch counters.
 func (s *Scheduler) Stats() Stats {
@@ -121,6 +209,9 @@ func (s *Scheduler) Stats() Stats {
 		Retried:    s.retried.Load(),
 		Coalesced:  s.coalesced.Load(),
 		CacheHits:  s.cacheHits.Load(),
+		Hedged:     s.hedged.Load(),
+		HedgeWins:  s.hedgeWins.Load(),
+		RingSwaps:  s.ringSwaps.Load(),
 	}
 }
 
@@ -305,15 +396,49 @@ func (s *Scheduler) cacheSet(ctx context.Context, key string, res *frontendsim.R
 	s.cache.Set(ctx, key, body)
 }
 
+// attempts resolves the Config.Retries semantics against the current
+// ring size: 0 selects every node, negative disables failover.
+func (s *Scheduler) attempts(ringSize int) int {
+	switch {
+	case s.retries < 0:
+		return 1
+	case s.retries == 0 || s.retries+1 > ringSize:
+		return ringSize
+	}
+	return s.retries + 1
+}
+
+// permanent reports whether err cannot be cured by trying another
+// backend, so the ring walk must stop: the caller's own cancellation or
+// deadline (retrying a dead request would hammer the remaining
+// backends), or a request error (4xx — every backend would refuse the
+// same request).  A per-attempt transport timeout (the HTTP client's
+// own deadline, with the caller's context still live) stays retryable:
+// that is exactly the hung-backend case failover exists for.
+func permanent(ctx context.Context, err error) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	if errors.Is(err, context.Canceled) {
+		// A Canceled without ctx being done can only have leaked in from
+		// the caller side of a race; no backend produces one.
+		return true
+	}
+	var be *BackendError
+	return errors.As(err, &be) && !be.Retryable()
+}
+
 // dispatchKey walks the key's ring sequence: the home node first, then
 // up to retries failover nodes.  Request errors (4xx — every backend
-// would refuse) and context cancellation abort the walk immediately.
+// would refuse) and the caller's own cancellation abort the walk
+// immediately.  With hedging enabled, a slow first attempt additionally
+// fires a speculative attempt to the next ring node (dispatchHedged).
 func (s *Scheduler) dispatchKey(ctx context.Context, key string, req frontendsim.Request) (*frontendsim.Result, error) {
 	s.dispatched.Add(1)
-	nodes := s.ring.Sequence(key)
-	attempts := s.retries + 1
-	if attempts > len(nodes) {
-		attempts = len(nodes)
+	nodes := s.Ring().Sequence(key)
+	attempts := s.attempts(len(nodes))
+	if s.hedgeDelay > 0 {
+		return s.dispatchHedged(ctx, nodes[:attempts], req)
 	}
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -324,13 +449,10 @@ func (s *Scheduler) dispatchKey(ctx context.Context, key string, req frontendsim
 		if err == nil {
 			return res, nil
 		}
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			// The caller (or every coalesced caller) gave up; don't hammer
-			// the remaining backends with a dead request.
-			return nil, ctxErr
-		}
-		var be *BackendError
-		if errors.As(err, &be) && !be.Retryable() {
+		if permanent(ctx, err) {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
 			return nil, err
 		}
 		lastErr = err

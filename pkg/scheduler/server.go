@@ -9,40 +9,92 @@ import (
 	"strings"
 
 	"repro/pkg/frontendsim"
+	"repro/pkg/membership"
+	"repro/pkg/obs"
 	"repro/pkg/resultstore"
 )
 
 // Server is the HTTP API of the suite scheduler (served by cmd/simsched).
 //
-//	POST /v1/suites      JSON frontendsim.SuiteRequest -> JSON SuiteResult,
-//	                     sharded across the backend ring; X-Cache reports
-//	                     HIT (all shards from the scheduler store),
-//	                     PARTIAL or MISS
-//	POST /v1/simulations JSON frontendsim.Request -> JSON Result, served
-//	                     from the scheduler store or routed to the
-//	                     request's home backend (ring passthrough);
-//	                     X-Cache: HIT|MISS|COALESCED
-//	GET  /v1/ring        ring topology and dispatch counters
-//	GET  /v1/cache/stats scheduler-tier response-store counters
-//	GET  /healthz        liveness
+//	POST   /v1/suites        JSON frontendsim.SuiteRequest -> JSON SuiteResult,
+//	                         sharded across the backend ring; X-Cache reports
+//	                         HIT (all shards from the scheduler store),
+//	                         PARTIAL or MISS
+//	POST   /v1/simulations   JSON frontendsim.Request -> JSON Result, served
+//	                         from the scheduler store or routed to the
+//	                         request's home backend (ring passthrough);
+//	                         X-Cache: HIT|MISS|COALESCED
+//	GET    /v1/ring          ring topology, per-member health state and
+//	                         dispatch counters
+//	POST   /v1/ring/members  join a backend at runtime ({"url": ...})
+//	DELETE /v1/ring/members  remove a backend at runtime ({"url": ...} or
+//	                         ?url=)
+//	GET    /v1/cache/stats   scheduler-tier response-store counters
+//	GET    /metrics          Prometheus text exposition (with WithMetrics)
+//	GET    /healthz          liveness
 type Server struct {
-	sched *Scheduler
-	mux   *http.ServeMux
+	sched      *Scheduler
+	members    *membership.Registry
+	metrics    *obs.Registry
+	mux        *http.ServeMux
+	routeNames []string
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithMembership wires the live member registry: GET /v1/ring reports
+// per-member health, and the POST/DELETE /v1/ring/members admin verbs
+// join and remove backends at runtime.  The caller is responsible for
+// subscribing the scheduler to the registry's changes (see
+// membership.Config.OnChange).
+func WithMembership(reg *membership.Registry) ServerOption {
+	return func(s *Server) { s.members = reg }
+}
+
+// WithMetrics mounts reg's exposition on GET /metrics and instruments
+// every route with the standard HTTP server metrics.
+func WithMetrics(reg *obs.Registry) ServerOption {
+	return func(s *Server) { s.metrics = reg }
 }
 
 // NewServer builds the HTTP frontend over sched.
-func NewServer(sched *Scheduler) *Server {
+func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s := &Server{sched: sched, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/suites", s.handleSuite)
-	s.mux.HandleFunc("POST /v1/simulations", s.handleSimulate)
-	s.mux.HandleFunc("GET /v1/ring", s.handleRing)
-	s.mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.handle("POST /v1/suites", s.handleSuite)
+	s.handle("POST /v1/simulations", s.handleSimulate)
+	s.handle("GET /v1/ring", s.handleRing)
+	s.handle("POST /v1/ring/members", s.handleJoin)
+	s.handle("DELETE /v1/ring/members", s.handleLeave)
+	s.handle("GET /v1/cache/stats", s.handleCacheStats)
+	s.handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if s.metrics != nil {
+		s.mux.Handle("GET /metrics", s.metrics.Handler())
+		s.routeNames = append(s.routeNames, "GET /metrics")
+	}
 	return s
 }
+
+// handle mounts pattern, instrumented when a metrics registry is
+// configured.  The handler label is the route pattern, so the duration
+// histograms split by endpoint.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.routeNames = append(s.routeNames, pattern)
+	if s.metrics != nil {
+		s.mux.Handle(pattern, s.metrics.InstrumentHandlerFunc(pattern, h))
+		return
+	}
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Routes returns the mounted route patterns (startup logging).
+func (s *Server) Routes() string { return strings.Join(s.routeNames, ", ") }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -132,21 +184,100 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
 	}{Entries: entries, Hits: hits, Misses: misses, Coalesced: s.sched.Stats().Coalesced, Tiers: tiers})
 }
 
-// handleRing reports the ring topology, the per-benchmark home nodes of
-// a default-configuration suite, and the dispatch counters.
+// handleRing reports the ring topology (with per-member health when a
+// membership registry is wired), the per-benchmark home nodes of a
+// default-configuration suite, and the dispatch counters.
 func (s *Server) handleRing(w http.ResponseWriter, _ *http.Request) {
 	assignment := map[string]string{}
+	ring := s.sched.Ring()
 	for _, bench := range frontendsim.Benchmarks() {
 		if key, err := s.sched.eng.RequestKey(frontendsim.Request{Benchmark: bench}); err == nil {
-			assignment[bench] = s.sched.ring.Node(key)
+			assignment[bench] = ring.Node(key)
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(struct {
+	out := struct {
 		Backends   []string          `json:"backends"`
 		Assignment map[string]string `json:"assignment"`
 		Stats      Stats             `json:"stats"`
-	}{Backends: s.sched.ring.Nodes(), Assignment: assignment, Stats: s.sched.Stats()})
+		Epoch      uint64            `json:"epoch,omitempty"`
+		Members    []membership.Info `json:"members,omitempty"`
+		Membership *membership.Stats `json:"membership,omitempty"`
+	}{Backends: ring.Nodes(), Assignment: assignment, Stats: s.sched.Stats()}
+	if s.members != nil {
+		out.Epoch = s.members.Epoch()
+		out.Members = s.members.Snapshot()
+		st := s.members.Stats()
+		out.Membership = &st
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// memberRequest is the join/leave admin body.
+type memberRequest struct {
+	URL string `json:"url"`
+}
+
+// decodeMemberURL accepts the URL as a JSON body or a ?url= query
+// parameter (DELETE bodies are awkward from curl).
+func decodeMemberURL(r *http.Request) (string, error) {
+	if u := r.URL.Query().Get("url"); u != "" {
+		return strings.TrimRight(u, "/"), nil
+	}
+	var req memberRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return "", fmt.Errorf("scheduler: decode member request: %w", err)
+	}
+	if req.URL == "" {
+		return "", fmt.Errorf("scheduler: member url is required")
+	}
+	return strings.TrimRight(req.URL, "/"), nil
+}
+
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if s.members == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("scheduler: ring membership is static (no membership registry configured)"))
+		return
+	}
+	url, err := decodeMemberURL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.members.Join(url); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Epoch   uint64            `json:"epoch"`
+		Members []membership.Info `json:"members"`
+	}{Epoch: s.members.Epoch(), Members: s.members.Snapshot()})
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if s.members == nil {
+		writeError(w, http.StatusNotImplemented,
+			fmt.Errorf("scheduler: ring membership is static (no membership registry configured)"))
+		return
+	}
+	url, err := decodeMemberURL(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.members.Leave(url); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Epoch   uint64            `json:"epoch"`
+		Members []membership.Info `json:"members"`
+	}{Epoch: s.members.Epoch(), Members: s.members.Snapshot()})
 }
 
 // Describe returns a one-line routing summary (used by cmd/simsched
@@ -155,8 +286,9 @@ func Describe() string {
 	return strings.Join([]string{
 		"POST /v1/suites",
 		"POST /v1/simulations",
-		"GET /v1/ring",
+		"GET/POST/DELETE /v1/ring[/members]",
 		"GET /v1/cache/stats",
+		"GET /metrics",
 		"GET /healthz",
 	}, ", ")
 }
