@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	simd [-addr :8723] [-cache 512] [-workers N]
+//	simd [-addr :8723] [-cache 512] [-workers N] [-max-body-bytes N]
 //	     [-store memory|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
 //	     [-announce SCHED_URL] [-self SELF_URL]
 //	     [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
@@ -27,6 +27,8 @@
 //	POST /v1/simulations        JSON request -> JSON result (cached, coalesced)
 //	POST /v1/simulations/stream JSON request -> NDJSON per-interval stream
 //	POST /v1/suites             whole-suite run (single-node mode; see simsched)
+//	POST /v1/suites/stream      suite run as NDJSON: per-shard lines as they
+//	                            complete, terminal deterministic aggregate
 //	GET  /v1/benchmarks         available benchmark profiles
 //	GET  /v1/cache/stats        per-tier response-store counters
 //	GET  /metrics               Prometheus text exposition
@@ -87,6 +89,7 @@ func main() {
 		storeDir  = flag.String("store-dir", "", "disk-store segment directory (required for -store=disk|tiered)")
 		storeMax  = flag.Int64("store-max-bytes", resultstore.DefaultMaxBytes, "disk-store total size cap in bytes")
 		workers   = flag.Int("workers", 0, "max concurrent simulations (default: GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body-bytes", simd.DefaultMaxBodyBytes, "request-body size cap in bytes (oversized bodies get 413)")
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
@@ -116,7 +119,8 @@ func main() {
 		frontendsim.WithIntervalCycles(*interval),
 		frontendsim.WithWorkers(*workers),
 	)
-	api := simd.NewServerWithStore(eng, store, simd.WithMetrics(obs.NewRegistry()))
+	api := simd.NewServerWithStore(eng, store,
+		simd.WithMetrics(obs.NewRegistry()), simd.WithMaxBodyBytes(*maxBody))
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,

@@ -4,7 +4,9 @@
 // next ring node when a backend dies, single-flights identical
 // concurrent work, and aggregates results deterministically — the
 // /v1/suites response is byte-identical to a serial in-process
-// Engine.RunSuite.
+// Engine.RunSuite.  POST /v1/suites/stream serves the same run as
+// NDJSON, one line per shard the moment it completes (cache hits
+// first), terminated by the same deterministic aggregate.
 //
 // A scheduler-tier response cache (Thanos query-frontend results
 // cache) answers repeated suites without dispatching to any backend:
@@ -24,6 +26,7 @@
 //
 //	simsched -backends http://sim-1:8723,http://sim-2:8723 [-addr :8724]
 //	         [-replicas 128] [-retries -1] [-cache 512] [-workers N]
+//	         [-max-body-bytes N]
 //	         [-timeout 10m] [-probe-interval 2s] [-probe-timeout 1s]
 //	         [-quarantine-threshold 3] [-evict-after 1m] [-hedge-delay 0]
 //	         [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
@@ -67,6 +70,7 @@ func main() {
 		retries   = flag.Int("retries", 0, "failover nodes tried after the home backend (0 = all remaining, -1 = none)")
 		cache     = flag.Int("cache", 512, "scheduler-tier response cache entries (0 disables)")
 		workers   = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body-bytes", scheduler.DefaultMaxBodyBytes, "request-body size cap in bytes (oversized bodies get 413)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
 		probeInt  = flag.Duration("probe-interval", 2*time.Second, "backend health-probe interval")
 		probeTO   = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
@@ -138,7 +142,8 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: scheduler.NewServer(sched,
-			scheduler.WithMembership(members), scheduler.WithMetrics(metrics)),
+			scheduler.WithMembership(members), scheduler.WithMetrics(metrics),
+			scheduler.WithMaxBodyBytes(*maxBody)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -20,10 +20,17 @@
 //  4. the ring manages itself: health probes quarantine a killed
 //     backend, evict it past the deadline, and a restarted replica
 //     rejoins through the admin API — all under continuous client load
-//     with zero visible errors, watched through /metrics.
+//     with zero visible errors, watched through /metrics, and
+//  5. the same suite is served through POST /v1/suites/stream: with a
+//     warm scheduler cache and a deliberately slow backend, the cached
+//     shards arrive on the wire in the first milliseconds while the one
+//     missing shard is still in flight — first-line latency decouples
+//     from completion latency, and the terminal aggregate line stays
+//     byte-identical to the blocking response.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -364,5 +371,97 @@ func main() {
 	}
 	if clientErrors.Load() > 0 {
 		fatal(fmt.Errorf("client-visible errors during ring lifecycle"))
+	}
+	fmt.Println()
+
+	// --- Act 5: the streamed fan-in. ---
+	// One deliberately slow backend (every round trip pays a fixed tax —
+	// a congested link, a loaded replica) behind a scheduler whose
+	// response cache holds 5 of the suite's 6 shards.  The blocking
+	// endpoint would sit on the whole suite until the slow shard lands;
+	// the stream hands over the 5 warm shards in the first milliseconds.
+	fmt.Println("Streamed suite fan-in (/v1/suites/stream), warm cache + one slow backend:")
+	const backendDelay = 250 * time.Millisecond
+	slowInner := simd.NewServerWithStore(frontendsim.New(backendOpts()...), reopened)
+	slowBackend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(backendDelay)
+		slowInner.ServeHTTP(w, r)
+	}))
+	defer slowBackend.Close()
+	streamSched, err := scheduler.New(eng, scheduler.Config{
+		Backends: []string{slowBackend.URL},
+		Cache:    resultstore.NewMemory(64),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	// Warm the scheduler-tier cache for every benchmark but the last.
+	for _, bench := range suite(2).Benchmarks[:5] {
+		if _, err := streamSched.Dispatch(ctx, frontendsim.Request{Benchmark: bench, Frontends: 2}); err != nil {
+			fatal(err)
+		}
+	}
+	streamSrv := httptest.NewServer(scheduler.NewServer(streamSched))
+	defer streamSrv.Close()
+
+	suiteBody, err := json.Marshal(suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.Post(streamSrv.URL+"/v1/suites/stream", "application/json", bytes.NewReader(suiteBody))
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var firstLine time.Duration
+	var cachedLines, dispatchedLines int
+	var terminal *frontendsim.SuiteResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line frontendsim.SuiteStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			fatal(err)
+		}
+		switch line.Type {
+		case "shard":
+			if firstLine == 0 {
+				firstLine = time.Since(start)
+			}
+			if line.Source == "HIT" {
+				cachedLines++
+			} else {
+				dispatchedLines++
+			}
+			fmt.Printf("  shard %-8s %-5s t=%-6v positions=%v\n",
+				line.Benchmark, line.Source, time.Since(start).Round(time.Millisecond), line.Positions)
+		case "aggregate":
+			terminal = line.Suite
+		case "error":
+			fatal(fmt.Errorf("stream error line: %s", line.Error))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	completed := time.Since(start)
+	if terminal == nil {
+		fatal(fmt.Errorf("stream ended without an aggregate line"))
+	}
+	terminalJSON, _ := json.Marshal(terminal)
+	fmt.Printf("  first line after %v, completion after %v (the slow backend taxes every dispatch %v)\n",
+		firstLine.Round(time.Millisecond), completed.Round(time.Millisecond), backendDelay)
+	fmt.Printf("  %d shards streamed from the warm cache ahead of %d dispatched; terminal aggregate byte-identical to the blocking run: %v\n",
+		cachedLines, dispatchedLines, bytes.Equal(terminalJSON, serialJSON))
+	if cachedLines != 5 || dispatchedLines != 1 {
+		fatal(fmt.Errorf("streamed %d cached / %d dispatched shards, want 5/1", cachedLines, dispatchedLines))
+	}
+	if firstLine >= backendDelay {
+		fatal(fmt.Errorf("first streamed line took %v — not earlier than the slow shard's %v dispatch", firstLine, backendDelay))
+	}
+	if !bytes.Equal(terminalJSON, serialJSON) {
+		fatal(fmt.Errorf("streamed aggregate differs from the serial reference"))
 	}
 }

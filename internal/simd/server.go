@@ -15,12 +15,21 @@ import (
 	"repro/pkg/resultstore"
 )
 
+// DefaultMaxBodyBytes caps request bodies: simulation and suite
+// requests are a few KB even with a full config override, so 1 MiB is
+// generous headroom while keeping a hostile multi-GB POST from being
+// read to the end by the JSON decoder.
+const DefaultMaxBodyBytes = 1 << 20
+
 // Server is the HTTP API of the simulation service.
 //
 //	POST /v1/simulations        JSON frontendsim.Request -> JSON frontendsim.Result
 //	POST /v1/simulations/stream JSON request -> NDJSON: one interval line
 //	                            per thermal interval, then a final result line
 //	POST /v1/suites             JSON frontendsim.SuiteRequest -> JSON SuiteResult
+//	POST /v1/suites/stream      JSON suite request -> NDJSON: one shard line
+//	                            per completed shard, then the terminal
+//	                            aggregate line
 //	GET  /v1/benchmarks         the available benchmark profiles
 //	GET  /v1/cache/stats        response-cache counters
 //	GET  /metrics               Prometheus text exposition (with WithMetrics)
@@ -31,6 +40,9 @@ type Server struct {
 	store   resultstore.Store
 	mux     *http.ServeMux
 	metrics *obs.Registry
+	// maxBody bounds every request body (http.MaxBytesReader); an
+	// oversized POST is refused with 413 instead of decoded to the end.
+	maxBody int64
 	// ready gates /healthz: SetReady(false) flips the health check to
 	// 503 so the scheduler's probes quarantine this backend (draining)
 	// while in-flight and even new requests still complete.
@@ -61,6 +73,17 @@ func WithMetrics(reg *obs.Registry) Option {
 	return func(s *Server) { s.metrics = reg }
 }
 
+// WithMaxBodyBytes overrides the request-body cap (default
+// DefaultMaxBodyBytes; n < 1 keeps the default — the cap is a
+// correctness guard, not a feature to disable).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // NewServer builds a Server over eng with an in-memory LRU response
 // store of cacheSize entries (cacheSize < 1 disables caching).  At most
 // eng.Workers() simulations run concurrently.
@@ -75,10 +98,11 @@ func NewServer(eng *frontendsim.Engine, cacheSize int, opts ...Option) *Server {
 // closes it after shutting the server down.
 func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store, opts ...Option) *Server {
 	s := &Server{
-		eng:   eng,
-		store: store,
-		mux:   http.NewServeMux(),
-		slots: make(chan struct{}, eng.Workers()),
+		eng:     eng,
+		store:   store,
+		mux:     http.NewServeMux(),
+		maxBody: DefaultMaxBodyBytes,
+		slots:   make(chan struct{}, eng.Workers()),
 	}
 	s.ready.Store(true)
 	for _, opt := range opts {
@@ -87,6 +111,7 @@ func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store, opts .
 	s.handle("POST /v1/simulations", s.handleSimulate)
 	s.handle("POST /v1/simulations/stream", s.handleStream)
 	s.handle("POST /v1/suites", s.handleSuite)
+	s.handle("POST /v1/suites/stream", s.handleSuiteStream)
 	s.handle("GET /v1/benchmarks", s.handleBenchmarks)
 	s.handle("GET /v1/cache/stats", s.handleCacheStats)
 	s.handle("GET /healthz", s.handleHealthz)
@@ -186,11 +211,27 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // statusFor maps run errors to HTTP statuses: client cancellations map
-// to 499 (nginx convention), everything else is a bad request — the
-// engine only fails on invalid requests.
+// to 499 (nginx convention); everything else is an internal failure and
+// must be a 5xx.  Every handler validates the request *before* the run
+// starts (decode and validation failures are 400 at the handler), so an
+// error reaching this point is the server's fault — a corrupt store
+// entry, a marshalling failure, a future store fault.  Reporting those
+// as 400 would make the scheduler's retry classifier treat a backend
+// fault as permanent and abort its ring walk instead of failing over.
 func statusFor(err error) int {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return 499
+	}
+	return http.StatusInternalServerError
+}
+
+// decodeStatus maps a request-decoding failure to its HTTP status: an
+// over-limit body (http.MaxBytesReader) is 413, anything else is the
+// caller's malformed JSON.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
 	}
 	return http.StatusBadRequest
 }
@@ -207,14 +248,30 @@ func (s *Server) acquire(ctx context.Context) error {
 
 func (s *Server) release() { <-s.slots }
 
-func decodeRequest(r *http.Request) (frontendsim.Request, error) {
+// decodeRequest decodes a simulation request with the body cap applied
+// and validates it, so every error after a successful decode is the
+// server's own (see statusFor).
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (frontendsim.Request, error) {
 	var req frontendsim.Request
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return req, fmt.Errorf("simd: decode request: %w", err)
 	}
-	return req, nil
+	return req, req.Validate()
+}
+
+// decodeSuite is decodeRequest for suite requests.
+func (s *Server) decodeSuite(w http.ResponseWriter, r *http.Request) (frontendsim.SuiteRequest, error) {
+	var suite frontendsim.SuiteRequest
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&suite); err != nil {
+		return suite, fmt.Errorf("simd: decode suite request: %w", err)
+	}
+	return suite, suite.Validate()
 }
 
 // simulate produces the marshalled response for one canonical request:
@@ -267,9 +324,9 @@ func (s *Server) simulate(ctx context.Context, key string, req frontendsim.Reque
 // canonical request from the LRU cache and single-flighting concurrent
 // identical requests onto one engine run.
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeRequest(r)
+	req, err := s.decodeRequest(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	key, err := s.eng.RequestKey(req)
@@ -287,35 +344,40 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
-// dispatch adapts simulate to the frontendsim.Dispatcher signature for
-// suite runs: each suite shard flows through the same cache and
-// single-flight group as a plain simulation, so suites and concurrent
-// single requests de-duplicate against each other too.
-func (s *Server) dispatch(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+// dispatchSource adapts simulate to the frontendsim.SourcedDispatcher
+// signature for suite runs: each suite shard flows through the same
+// cache and single-flight group as a plain simulation, so suites and
+// concurrent single requests de-duplicate against each other too.
+func (s *Server) dispatchSource(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, string, error) {
 	key, err := s.eng.RequestKey(req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	body, _, err := s.simulate(ctx, key, req)
+	body, source, err := s.simulate(ctx, key, req)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var res frontendsim.Result
 	if err := json.Unmarshal(body, &res); err != nil {
-		return nil, fmt.Errorf("simd: decode cached result: %w", err)
+		return nil, "", fmt.Errorf("simd: decode cached result: %w", err)
 	}
-	return &res, nil
+	return &res, source, nil
+}
+
+// dispatch is dispatchSource without the source, the plain
+// frontendsim.Dispatcher of the blocking suite endpoint.
+func (s *Server) dispatch(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+	res, _, err := s.dispatchSource(ctx, req)
+	return res, err
 }
 
 // handleSuite runs a whole benchmark suite in-process (single-node mode
 // of the /v1/suites API that cmd/simsched serves across a backend ring)
 // and responds with the deterministic frontendsim.SuiteResult.
 func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
-	var suite frontendsim.SuiteRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&suite); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("simd: decode suite request: %w", err))
+	suite, err := s.decodeSuite(w, r)
+	if err != nil {
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	res, err := s.eng.RunSuiteVia(r.Context(), suite, s.dispatch)
@@ -325,6 +387,51 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
+}
+
+// handleSuiteStream is handleSuite with NDJSON shard streaming: one
+// {"type":"shard"} line per completed shard the moment it lands (cached
+// shards effectively instantly), flushed per line, then a terminal
+// {"type":"aggregate"} line whose suite field is byte-identical (as
+// JSON) to the blocking /v1/suites response of the same request.  A run
+// failure after streaming began becomes a terminal {"type":"error"}
+// line — the HTTP status is already committed.
+func (s *Server) handleSuiteStream(w http.ResponseWriter, r *http.Request) {
+	suite, err := s.decodeSuite(w, r)
+	if err != nil {
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the committed 200 to the wire now: the first shard may
+		// be arbitrarily slow, and a client must be able to observe
+		// (and abandon) the stream before any line arrives.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	emit := func(line frontendsim.SuiteStreamLine) {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, err := s.eng.RunSuiteStream(r.Context(), suite, s.dispatchSource, func(sh frontendsim.ShardResult) {
+		emit(frontendsim.SuiteStreamLine{
+			Type:      "shard",
+			Positions: sh.Positions,
+			Benchmark: sh.Benchmark,
+			Source:    sh.Source,
+			Result:    sh.Result,
+		})
+	})
+	if err != nil {
+		emit(frontendsim.SuiteStreamLine{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(frontendsim.SuiteStreamLine{Type: "aggregate", Suite: res})
 }
 
 // streamLine is one NDJSON line of the streaming endpoint.
@@ -339,13 +446,9 @@ type streamLine struct {
 // thermal interval as it is simulated, then a final result line.
 // Streamed runs bypass the response cache — the stream is the product.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
-	req, err := decodeRequest(r)
+	req, err := s.decodeRequest(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if err := req.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if err := s.acquire(r.Context()); err != nil {
@@ -401,6 +504,7 @@ func Describe() string {
 		"POST /v1/simulations",
 		"POST /v1/simulations/stream",
 		"POST /v1/suites",
+		"POST /v1/suites/stream",
 		"GET /v1/benchmarks",
 		"GET /v1/cache/stats",
 		"GET /metrics",

@@ -1,0 +1,150 @@
+package frontendsim
+
+import (
+	"context"
+	"sync"
+)
+
+// SourcedDispatcher is a Dispatcher that also reports how the request
+// was served — the per-shard `source` of the streaming suite API.  The
+// conventional spellings are the X-Cache values ("HIT", "COALESCED",
+// "MISS"); an empty string means the dispatcher does not say.
+type SourcedDispatcher func(ctx context.Context, req Request) (*Result, string, error)
+
+// ShardResult is one completed shard of a streamed suite run: the
+// dispatched result plus where in the suite it belongs and how it was
+// served.
+type ShardResult struct {
+	// Positions are the suite indices sharing this shard's canonical
+	// key, ascending (duplicate suite entries dispatch once and share
+	// the result).  The slice is owned by the engine; don't mutate it.
+	Positions []int `json:"positions"`
+	// Benchmark is the dispatched request's benchmark.
+	Benchmark string `json:"benchmark"`
+	// Source reports how the dispatcher served the shard ("HIT",
+	// "COALESCED", "MISS"; empty when unknown).
+	Source string `json:"source,omitempty"`
+	// Result is the shard's result, shared by every position.
+	Result *Result `json:"result"`
+}
+
+// StreamSink receives each completed shard of RunSuiteStream the moment
+// it lands.  Calls are serialized by the engine (never concurrent), in
+// completion order — cached shards typically arrive first, whatever
+// their suite position.  The sink must not block longer than the caller
+// can afford: it runs on the suite's worker goroutines.
+type StreamSink func(ShardResult)
+
+// SuiteStreamLine is one NDJSON line of the POST /v1/suites/stream
+// endpoints (internal/simd single-node, pkg/scheduler ring fan-in).
+// Type selects which fields are populated:
+//
+//	"shard"     Positions/Benchmark/Source/Result — one completed shard
+//	"aggregate" Suite — the terminal deterministic SuiteResult,
+//	            byte-identical (as JSON) to the blocking POST /v1/suites
+//	            response for the same request
+//	"error"     Error — the run failed; no aggregate follows
+type SuiteStreamLine struct {
+	Type      string       `json:"type"`
+	Positions []int        `json:"positions,omitempty"`
+	Benchmark string       `json:"benchmark,omitempty"`
+	Source    string       `json:"source,omitempty"`
+	Result    *Result      `json:"result,omitempty"`
+	Suite     *SuiteResult `json:"suite,omitempty"`
+	Error     string       `json:"error,omitempty"`
+}
+
+// RunSuiteStream runs the suite through dispatch exactly like
+// RunSuiteVia — same sharding, same bounded worker pool, same
+// deterministic suite-order aggregation — but additionally emits every
+// shard to sink the moment it completes.  The returned SuiteResult is
+// byte-identical (as JSON) to RunSuiteVia of the same suite: streaming
+// changes when results become visible, never what they are.  A nil sink
+// degrades to RunSuiteVia with a sourced dispatcher.
+func (e *Engine) RunSuiteStream(ctx context.Context, suite SuiteRequest, dispatch SourcedDispatcher, sink StreamSink) (*SuiteResult, error) {
+	return e.runSuite(ctx, suite, dispatch, sink)
+}
+
+// runSuite is the shared suite executor behind RunSuiteVia and
+// RunSuiteStream: a bounded worker pool (Engine.Workers wide) over the
+// deduplicated shards, results landing in a slice indexed by suite
+// position and folded in that order, so the aggregate is byte-identical
+// whatever the completion order — and identical to a Workers==1 serial
+// run.  The first error (including context cancellation) aborts the
+// remaining work.
+func (e *Engine) runSuite(ctx context.Context, suite SuiteRequest, dispatch SourcedDispatcher, sink StreamSink) (*SuiteResult, error) {
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := suite.Requests()
+	shards, err := e.shardByKey(reqs)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(reqs))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.workers
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	jobs := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		emitMu   sync.Mutex // serializes sink calls across workers
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				positions := shards[i]
+				res, source, err := dispatch(ctx, reqs[positions[0]])
+				if err != nil {
+					fail(err)
+					return
+				}
+				for _, p := range positions {
+					results[p] = res
+				}
+				if sink != nil {
+					emitMu.Lock()
+					sink(ShardResult{
+						Positions: positions,
+						Benchmark: reqs[positions[0]].Benchmark,
+						Source:    source,
+						Result:    res,
+					})
+					emitMu.Unlock()
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < len(shards); i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &SuiteResult{Results: results, Aggregate: aggregate(results)}, nil
+}

@@ -3,7 +3,6 @@ package frontendsim
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/metrics"
 )
@@ -121,70 +120,14 @@ func (e *Engine) shardByKey(reqs []Request) ([][]int, error) {
 // run.  Suite entries with the same canonical RequestKey are dispatched
 // once and share the result.  The first error (including context
 // cancellation) aborts the remaining work.
+//
+// RunSuiteVia answers only on completion; RunSuiteStream is the same
+// machinery with per-shard emission as results land.
 func (e *Engine) RunSuiteVia(ctx context.Context, suite SuiteRequest, dispatch Dispatcher) (*SuiteResult, error) {
-	if err := suite.Validate(); err != nil {
-		return nil, err
-	}
-	reqs := suite.Requests()
-	shards, err := e.shardByKey(reqs)
-	if err != nil {
-		return nil, err
-	}
-	results := make([]*Result, len(reqs))
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	workers := e.workers
-	if workers > len(shards) {
-		workers = len(shards)
-	}
-	jobs := make(chan int)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				positions := shards[i]
-				res, err := dispatch(ctx, reqs[positions[0]])
-				if err != nil {
-					fail(err)
-					return
-				}
-				for _, p := range positions {
-					results[p] = res
-				}
-			}
-		}()
-	}
-feed:
-	for i := 0; i < len(shards); i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return &SuiteResult{Results: results, Aggregate: aggregate(results)}, nil
+	return e.runSuite(ctx, suite, func(ctx context.Context, req Request) (*Result, string, error) {
+		res, err := dispatch(ctx, req)
+		return res, "", err
+	}, nil)
 }
 
 // aggregate folds results in slice order.

@@ -60,6 +60,24 @@ func (s *Scheduler) hedgeAfter() time.Duration {
 	return s.hedgeDelay
 }
 
+// rearmTimer is the stop-drain-reset idiom: it re-arms t for d from
+// now, discarding a stale, un-consumed expiry first.  A bare
+// timer.Reset after the timer already fired leaves the old expiry
+// sitting in t.C, and the next select consumes it immediately — for the
+// hedge loop that meant a spurious instant hedge right after a failed
+// attempt's fallback launch (and an inflated Hedged counter).  Only
+// safe when no other goroutine receives from t.C, which holds here: the
+// dispatch loop is the channel's sole consumer.
+func rearmTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
 // dispatchHedged walks nodes like the sequential ring walk, but with
 // tail-latency hedging: while an attempt is in flight, a timer at
 // hedgeAfter() launches the next node speculatively; the first
@@ -122,9 +140,12 @@ func (s *Scheduler) dispatchHedged(ctx context.Context, nodes []string, req fron
 			lastErr = a.err
 			if pending == 0 && launched < len(nodes) {
 				// Every in-flight attempt failed: fall back to the plain
-				// sequential walk on the next node.
+				// sequential walk on the next node.  The timer may have
+				// expired while we were waiting on resc, leaving a stale
+				// tick in timer.C — stop-drain-reset, or the next select
+				// iteration hedges instantly.
 				launch(false)
-				timer.Reset(s.hedgeAfter())
+				rearmTimer(timer, s.hedgeAfter())
 			}
 		case <-timer.C:
 			if launched < len(nodes) {

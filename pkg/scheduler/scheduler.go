@@ -260,15 +260,27 @@ type Served struct {
 	Coalesced uint64 `json:"coalesced"`
 }
 
-// XCache is the frontend-tier X-Cache value of a suite response: HIT
-// when every shard came from the scheduler store, PARTIAL when some
-// did, MISS when none did.
+// XCache is the frontend-tier X-Cache value of a suite response.  It
+// reports the backend cost incurred on *this* request's behalf:
+//
+//	HIT        every unique shard came from the scheduler store
+//	COALESCED  zero shards were dispatched for this request, but at
+//	           least one joined another caller's in-flight dispatch
+//	           (an all-coalesced suite is not a MISS — no backend work
+//	           was started on its behalf)
+//	PARTIAL    a mix: some shards served locally (store or join), some
+//	           dispatched
+//	MISS       every shard was dispatched to the ring
 func (v Served) XCache() string {
 	total := v.Cached + v.Dispatched + v.Coalesced
 	switch {
-	case total > 0 && v.Cached == total:
+	case total == 0:
+		return "MISS"
+	case v.Cached == total:
 		return "HIT"
-	case v.Cached > 0:
+	case v.Dispatched == 0:
+		return "COALESCED"
+	case v.Cached+v.Coalesced > 0:
 		return "PARTIAL"
 	}
 	return "MISS"
@@ -287,11 +299,24 @@ func (s *Scheduler) RunSuite(ctx context.Context, suite frontendsim.SuiteRequest
 // unique shard was served — the basis of the frontend tier's X-Cache
 // accounting.
 func (s *Scheduler) RunSuiteServed(ctx context.Context, suite frontendsim.SuiteRequest) (*frontendsim.SuiteResult, Served, error) {
+	return s.RunSuiteStream(ctx, suite, nil)
+}
+
+// RunSuiteStream is the streamed fan-in: the suite's unique shards run
+// through the whole cache → singleflight → hedged-dispatch stack
+// exactly as in RunSuiteServed, but every shard is emitted to sink the
+// moment it completes — a partially cached sweep streams its cached
+// shards in the first milliseconds while only the missing shards wait
+// on backends.  Each shard carries its suite positions and source
+// (HIT/COALESCED/MISS); sink calls are serialized.  The returned
+// SuiteResult is byte-identical (as JSON) to RunSuite of the same
+// suite.  A nil sink degrades to RunSuiteServed.
+func (s *Scheduler) RunSuiteStream(ctx context.Context, suite frontendsim.SuiteRequest, sink frontendsim.StreamSink) (*frontendsim.SuiteResult, Served, error) {
 	var cached, dispatched, coalesced atomic.Uint64
-	res, err := s.eng.RunSuiteVia(ctx, suite, func(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, error) {
+	res, err := s.eng.RunSuiteStream(ctx, suite, func(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, string, error) {
 		r, src, err := s.DispatchSource(ctx, req)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		switch src {
 		case SourceCached:
@@ -301,8 +326,8 @@ func (s *Scheduler) RunSuiteServed(ctx context.Context, suite frontendsim.SuiteR
 		default:
 			dispatched.Add(1)
 		}
-		return r, nil
-	})
+		return r, src.String(), nil
+	}, sink)
 	served := Served{
 		Cached:     cached.Load(),
 		Dispatched: dispatched.Load(),
@@ -342,9 +367,12 @@ func (s *Scheduler) DispatchSource(ctx context.Context, req frontendsim.Request)
 		return outcome{res: res}, nil
 	})
 	if err != nil {
+		// A joined execution that failed served nobody: the caller was
+		// not spared a backend dispatch, it inherited a failure.  The
+		// source still reports the join, but failed shares stay out of
+		// the Coalesced counter — it counts work actually saved.
 		src := SourceDispatched
 		if shared {
-			s.coalesced.Add(1)
 			src = SourceCoalesced
 		}
 		return nil, src, err

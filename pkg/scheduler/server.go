@@ -19,7 +19,12 @@ import (
 //	POST   /v1/suites        JSON frontendsim.SuiteRequest -> JSON SuiteResult,
 //	                         sharded across the backend ring; X-Cache reports
 //	                         HIT (all shards from the scheduler store),
-//	                         PARTIAL or MISS
+//	                         COALESCED, PARTIAL or MISS
+//	POST   /v1/suites/stream same request, answered as application/x-ndjson:
+//	                         one {"type":"shard"} line per completed shard
+//	                         (cache hits first), then a terminal
+//	                         {"type":"aggregate"} line byte-identical to the
+//	                         blocking response, or {"type":"error"}
 //	POST   /v1/simulations   JSON frontendsim.Request -> JSON Result, served
 //	                         from the scheduler store or routed to the
 //	                         request's home backend (ring passthrough);
@@ -38,7 +43,15 @@ type Server struct {
 	metrics    *obs.Registry
 	mux        *http.ServeMux
 	routeNames []string
+	maxBody    int64
 }
+
+// DefaultMaxBodyBytes caps request bodies accepted by the scheduler
+// API.  Suite requests are a benchmark list plus one configuration —
+// a megabyte is orders of magnitude above any legitimate request, and
+// the cap keeps a misbehaving client from buffering the node into the
+// ground.
+const DefaultMaxBodyBytes = 1 << 20
 
 // ServerOption configures NewServer.
 type ServerOption func(*Server)
@@ -58,13 +71,25 @@ func WithMetrics(reg *obs.Registry) ServerOption {
 	return func(s *Server) { s.metrics = reg }
 }
 
+// WithMaxBodyBytes overrides the request-body cap (default
+// DefaultMaxBodyBytes).  Oversized bodies are rejected with 413.
+// Non-positive values keep the default.
+func WithMaxBodyBytes(n int64) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
 // NewServer builds the HTTP frontend over sched.
 func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
-	s := &Server{sched: sched, mux: http.NewServeMux()}
+	s := &Server{sched: sched, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
 	for _, opt := range opts {
 		opt(s)
 	}
 	s.handle("POST /v1/suites", s.handleSuite)
+	s.handle("POST /v1/suites/stream", s.handleSuiteStream)
 	s.handle("POST /v1/simulations", s.handleSimulate)
 	s.handle("GET /v1/ring", s.handleRing)
 	s.handle("POST /v1/ring/members", s.handleJoin)
@@ -129,12 +154,30 @@ func statusFor(err error) int {
 	return http.StatusBadRequest
 }
 
-func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
-	var suite frontendsim.SuiteRequest
+// decodeStatus maps body-decode failures: an http.MaxBytesReader trip
+// is 413 (the client must shrink the request, not fix its syntax),
+// anything else is a plain 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// decodeBody caps r.Body at the configured limit and decodes one JSON
+// value into v, rejecting unknown fields.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&suite); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("scheduler: decode suite request: %w", err))
+	return dec.Decode(v)
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	var suite frontendsim.SuiteRequest
+	if err := s.decodeBody(w, r, &suite); err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("scheduler: decode suite request: %w", err))
 		return
 	}
 	res, served, err := s.sched.RunSuiteServed(r.Context(), suite)
@@ -147,12 +190,60 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(res)
 }
 
+// handleSuiteStream is handleSuite with incremental delivery: NDJSON,
+// one "shard" line the moment each shard completes (scheduler-store
+// hits first, then coalesced and dispatched shards in completion
+// order), terminated by an "aggregate" line whose suite field is
+// byte-identical to the blocking POST /v1/suites response body, or an
+// "error" line if the run failed mid-stream.  Every line is flushed as
+// it is written, so a client sees first results while slow shards are
+// still walking the ring.
+func (s *Server) handleSuiteStream(w http.ResponseWriter, r *http.Request) {
+	var suite frontendsim.SuiteRequest
+	if err := s.decodeBody(w, r, &suite); err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("scheduler: decode suite request: %w", err))
+		return
+	}
+	if err := suite.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the committed 200 to the wire now: the first shard may
+		// be arbitrarily slow, and a client must be able to observe
+		// (and abandon) the stream before any line arrives.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	emit := func(line frontendsim.SuiteStreamLine) {
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	res, _, err := s.sched.RunSuiteStream(r.Context(), suite, func(sh frontendsim.ShardResult) {
+		emit(frontendsim.SuiteStreamLine{
+			Type:      "shard",
+			Positions: sh.Positions,
+			Benchmark: sh.Benchmark,
+			Source:    sh.Source,
+			Result:    sh.Result,
+		})
+	})
+	if err != nil {
+		emit(frontendsim.SuiteStreamLine{Type: "error", Error: err.Error()})
+		return
+	}
+	emit(frontendsim.SuiteStreamLine{Type: "aggregate", Suite: res})
+}
+
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	var req frontendsim.Request
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("scheduler: decode request: %w", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), fmt.Errorf("scheduler: decode request: %w", err))
 		return
 	}
 	res, source, err := s.sched.DispatchSource(r.Context(), req)
@@ -220,14 +311,12 @@ type memberRequest struct {
 
 // decodeMemberURL accepts the URL as a JSON body or a ?url= query
 // parameter (DELETE bodies are awkward from curl).
-func decodeMemberURL(r *http.Request) (string, error) {
+func (s *Server) decodeMemberURL(w http.ResponseWriter, r *http.Request) (string, error) {
 	if u := r.URL.Query().Get("url"); u != "" {
 		return strings.TrimRight(u, "/"), nil
 	}
 	var req memberRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		return "", fmt.Errorf("scheduler: decode member request: %w", err)
 	}
 	if req.URL == "" {
@@ -242,9 +331,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("scheduler: ring membership is static (no membership registry configured)"))
 		return
 	}
-	url, err := decodeMemberURL(r)
+	url, err := s.decodeMemberURL(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if err := s.members.Join(url); err != nil {
@@ -264,9 +353,9 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("scheduler: ring membership is static (no membership registry configured)"))
 		return
 	}
-	url, err := decodeMemberURL(r)
+	url, err := s.decodeMemberURL(w, r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if err := s.members.Leave(url); err != nil {
@@ -285,6 +374,7 @@ func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
 func Describe() string {
 	return strings.Join([]string{
 		"POST /v1/suites",
+		"POST /v1/suites/stream",
 		"POST /v1/simulations",
 		"GET/POST/DELETE /v1/ring[/members]",
 		"GET /v1/cache/stats",
