@@ -5,7 +5,7 @@ GO ?= go
 # `staticcheck` is on PATH and skips with an install hint otherwise.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check fmt vet staticcheck print-staticcheck-version build test race bench docs-check demo
+.PHONY: check fmt vet staticcheck print-staticcheck-version build test race bench docs-check demo chaos
 
 # The full tier-1 gate: formatting, vet, staticcheck, build, tests
 # (race-enabled — the scheduler/simd coalescing paths are explicitly
@@ -87,3 +87,12 @@ bench-full:
 # so CI runs it as an integration smoke test.
 demo:
 	$(GO) run ./examples/distributed
+
+# Seeded chaos integration suite: a simd fleet behind fault-injecting
+# proxies (latency spikes, injected 500s, a flapping backend) driven
+# through the real scheduler — zero client-visible errors in strict
+# mode, correct PARTIAL-ERROR accounting in degraded mode, passive
+# breaker + quarantine before any probe round, and 503 + Retry-After
+# shedding from a saturated backend, all asserted via /metrics.
+chaos:
+	$(GO) test -run TestChaos -v ./internal/chaos

@@ -7,8 +7,22 @@
 //
 //	simd [-addr :8723] [-cache 512] [-workers N] [-max-body-bytes N]
 //	     [-store memory|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
+//	     [-max-queue 64] [-queue-wait 5s] [-partial-results]
 //	     [-announce SCHED_URL] [-self SELF_URL]
 //	     [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
+//
+// Admission control: at most -workers simulations run concurrently; up
+// to -max-queue further requests wait at most -queue-wait for a slot.
+// Anything beyond either bound is shed immediately with 503 and a
+// Retry-After header (visible as simd_shed_total{reason} on /metrics)
+// instead of stacking goroutines behind clients that will give up
+// anyway.  Zero for either flag removes that bound.
+//
+// With -partial-results, a suite whose shards partly fail answers 200
+// with per-shard `errors` entries, an aggregate over the shards that
+// completed, and X-Cache: PARTIAL-ERROR (the streaming endpoint emits
+// {"type":"shard-error"} lines) — graceful degradation instead of one
+// dead shard failing the sweep.
 //
 // With -announce, simd registers -self with the scheduler's ring admin
 // API on startup (retrying until the scheduler answers) and departs on
@@ -90,6 +104,9 @@ func main() {
 		storeMax  = flag.Int64("store-max-bytes", resultstore.DefaultMaxBytes, "disk-store total size cap in bytes")
 		workers   = flag.Int("workers", 0, "max concurrent simulations (default: GOMAXPROCS)")
 		maxBody   = flag.Int64("max-body-bytes", simd.DefaultMaxBodyBytes, "request-body size cap in bytes (oversized bodies get 413)")
+		maxQueue  = flag.Int("max-queue", 64, "max requests waiting for a simulation slot; excess is shed with 503 (0 = unbounded)")
+		queueWait = flag.Duration("queue-wait", 5*time.Second, "max time a request waits for a simulation slot before being shed with 503 (0 = unbounded)")
+		partial   = flag.Bool("partial-results", false, "degrade suite runs gracefully: per-shard error entries and X-Cache: PARTIAL-ERROR instead of failing the whole suite")
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
@@ -119,8 +136,15 @@ func main() {
 		frontendsim.WithIntervalCycles(*interval),
 		frontendsim.WithWorkers(*workers),
 	)
-	api := simd.NewServerWithStore(eng, store,
-		simd.WithMetrics(obs.NewRegistry()), simd.WithMaxBodyBytes(*maxBody))
+	apiOpts := []simd.Option{
+		simd.WithMetrics(obs.NewRegistry()),
+		simd.WithMaxBodyBytes(*maxBody),
+		simd.WithAdmission(*maxQueue, *queueWait),
+	}
+	if *partial {
+		apiOpts = append(apiOpts, simd.WithPartialResults())
+	}
+	api := simd.NewServerWithStore(eng, store, apiOpts...)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           api,

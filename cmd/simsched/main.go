@@ -29,7 +29,20 @@
 //	         [-max-body-bytes N]
 //	         [-timeout 10m] [-probe-interval 2s] [-probe-timeout 1s]
 //	         [-quarantine-threshold 3] [-evict-after 1m] [-hedge-delay 0]
+//	         [-retry-backoff 5ms] [-breaker-threshold 3] [-breaker-cooldown 5s]
+//	         [-partial-results]
 //	         [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
+//
+// Resilience: retries within one dispatch wait out a jittered
+// exponential backoff (-retry-backoff, 0 disables) before the next ring
+// node; -breaker-threshold consecutive dispatch failures open a
+// per-backend circuit that diverts the ring walk around the backend for
+// -breaker-cooldown before a single half-open probe (0 disables the
+// breaker).  Every dispatch verdict also feeds the membership registry,
+// so live traffic quarantines a flapping backend between probe rounds.
+// With -partial-results, a suite whose shards exhaust the ring answers
+// 200 with per-shard `errors` entries and X-Cache: PARTIAL-ERROR
+// instead of failing the whole sweep.
 //
 // The -warmup/-measure/-interval defaults must match the backends' simd
 // flags: the scheduler canonicalizes requests under its own engine
@@ -77,6 +90,10 @@ func main() {
 		quarAfter = flag.Int("quarantine-threshold", 3, "consecutive probe failures before a backend is quarantined")
 		evictAft  = flag.Duration("evict-after", time.Minute, "quarantine time before permanent eviction (negative disables)")
 		hedge     = flag.Duration("hedge-delay", 0, "hedged-request floor: speculative retry to the next ring node after max(p95, this) in flight (0 disables hedging)")
+		backoff   = flag.Duration("retry-backoff", 5*time.Millisecond, "jittered exponential backoff base between ring-walk retries (0 disables)")
+		brkThresh = flag.Int("breaker-threshold", 3, "consecutive dispatch failures that open a backend's circuit (0 disables the breaker)")
+		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "time an open circuit diverts traffic before a half-open probe")
+		partial   = flag.Bool("partial-results", false, "degrade suite runs gracefully: per-shard error entries and X-Cache: PARTIAL-ERROR instead of failing the whole suite")
 		warmup    = flag.Uint64("warmup", 0, "default warmup micro-ops (0 = paper default; match simd)")
 		measure   = flag.Uint64("measure", 0, "default measured micro-ops (0 = paper default; match simd)")
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default; match simd)")
@@ -108,20 +125,33 @@ func main() {
 		store = resultstore.NewMemory(*cache)
 	}
 	metrics := obs.NewRegistry()
+	// members is assigned below, before the server starts accepting
+	// requests; the closure lets the scheduler feed dispatch verdicts
+	// back into the registry that will own the ring.
+	var members *membership.Registry
 	sched, err := scheduler.New(eng, scheduler.Config{
-		Backends:   nodes,
-		Replicas:   *replicas,
-		Retries:    *retries,
-		HTTPClient: &http.Client{Timeout: *timeout},
-		Cache:      store,
-		HedgeDelay: *hedge,
-		Metrics:    metrics,
+		Backends:         nodes,
+		Replicas:         *replicas,
+		Retries:          *retries,
+		HTTPClient:       &http.Client{Timeout: *timeout},
+		Cache:            store,
+		HedgeDelay:       *hedge,
+		Metrics:          metrics,
+		RetryBackoff:     *backoff,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCool,
+		PartialResults:   *partial,
+		ReportDispatch: func(node string, err error) {
+			if members != nil {
+				members.ReportDispatch(node, err)
+			}
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	members, err := membership.New(membership.Config{
+	members, err = membership.New(membership.Config{
 		ProbeInterval:   *probeInt,
 		ProbeTimeout:    *probeTO,
 		QuarantineAfter: *quarAfter,
@@ -139,17 +169,21 @@ func main() {
 	members.Start()
 	defer members.Close()
 
+	api := scheduler.NewServer(sched,
+		scheduler.WithMembership(members), scheduler.WithMetrics(metrics),
+		scheduler.WithMaxBodyBytes(*maxBody))
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: scheduler.NewServer(sched,
-			scheduler.WithMembership(members), scheduler.WithMetrics(metrics),
-			scheduler.WithMaxBodyBytes(*maxBody)),
+		Addr:              *addr,
+		Handler:           api,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
+		// Fail the health check first so upstream load balancers stop
+		// sending new suites here, then drain in-flight runs.
+		api.SetReady(false)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		srv.Shutdown(shutdownCtx)

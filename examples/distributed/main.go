@@ -26,7 +26,14 @@
 //     shards arrive on the wire in the first milliseconds while the one
 //     missing shard is still in flight — first-line latency decouples
 //     from completion latency, and the terminal aggregate line stays
-//     byte-identical to the blocking response.
+//     byte-identical to the blocking response, and
+//  6. the fleet is fronted by pkg/faultinject reverse proxies and a
+//     failure scenario is scripted at runtime over the /__faults
+//     control API: a budget of injected 500s lands on one replica, the
+//     scheduler rides through it with failovers and jittered backoff,
+//     the injected faults show up in the proxy's own stats endpoint,
+//     and deleting the rule returns the fleet to quiet — all without
+//     restarting anything.
 package main
 
 import (
@@ -44,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/simd"
+	"repro/pkg/faultinject"
 	"repro/pkg/frontendsim"
 	"repro/pkg/membership"
 	"repro/pkg/obs"
@@ -463,5 +471,110 @@ func main() {
 	}
 	if !bytes.Equal(terminalJSON, serialJSON) {
 		fatal(fmt.Errorf("streamed aggregate differs from the serial reference"))
+	}
+	fmt.Println()
+
+	// --- Act 6: scripted chaos through the fault-injection proxies. ---
+	// The live fleet, now reached through pkg/faultinject reverse proxies
+	// — rule-driven stand-ins for a flaky network path.  The failure
+	// scenario is scripted over each proxy's /__faults control API with
+	// plain HTTP while suites keep flowing: a deterministic budget of
+	// injected 500s lands on the home replica of the suite's first shard,
+	// the scheduler rides through it (failover + jittered backoff,
+	// byte-identical result), the injections are visible in the proxy's
+	// own stats, and deleting the rule returns the fleet to quiet.
+	fmt.Println("Scripted chaos (pkg/faultinject), driven over the /__faults control API:")
+	live := []*httptest.Server{backends2[1], backends2[2], replacement}
+	proxies := make([]*httptest.Server, len(live))
+	for i, b := range live {
+		proxies[i] = httptest.NewServer(faultinject.NewProxy(b.URL, faultinject.New(int64(600+i)), nil))
+		defer proxies[i].Close()
+	}
+	chaosMetrics := obs.NewRegistry()
+	chaosSched, err := scheduler.New(eng, scheduler.Config{
+		Backends:     urls(proxies),
+		RetryBackoff: 2 * time.Millisecond,
+		Metrics:      chaosMetrics,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	gzipKey, err := eng.RequestKey(frontendsim.Request{Benchmark: "gzip", Frontends: 2})
+	if err != nil {
+		fatal(err)
+	}
+	home := chaosSched.Ring().Node(gzipKey)
+
+	ruleResp, err := http.Post(home+faultinject.ControlPrefix+"/rules", "application/json",
+		strings.NewReader(`{"match":{"path":"/v1/simulations"},"status":500,"max_count":2}`))
+	if err != nil {
+		fatal(err)
+	}
+	var installed struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(ruleResp.Body).Decode(&installed); err != nil {
+		fatal(err)
+	}
+	ruleResp.Body.Close()
+	fmt.Printf("  POST %s/rules on gzip's home replica -> %s: its next 2 dispatches answer 500\n",
+		faultinject.ControlPrefix, installed.ID)
+
+	before = engineRuns.Load()
+	chaosRun, err := chaosSched.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	chaosJSON, _ := json.Marshal(chaosRun)
+	st = chaosSched.Stats()
+	fmt.Printf("  suite through the faults: byte-identical=%v, %d failovers, %d jittered backoffs, %d new engine runs\n",
+		bytes.Equal(chaosJSON, serialJSON), st.Retried, st.Backoffs, engineRuns.Load()-before)
+	if !bytes.Equal(chaosJSON, serialJSON) {
+		fatal(fmt.Errorf("chaos suite differs from the serial reference"))
+	}
+	if st.Retried == 0 || st.Backoffs == 0 {
+		fatal(fmt.Errorf("injected 500s were never exercised (retried=%d backoffs=%d)", st.Retried, st.Backoffs))
+	}
+	for _, line := range strings.Split(chaosMetrics.Render(), "\n") {
+		if strings.HasPrefix(line, "sched_retry_backoff_seconds_count") {
+			fmt.Printf("  /metrics: %s\n", line)
+		}
+	}
+
+	statsResp, err := http.Get(home + faultinject.ControlPrefix + "/stats")
+	if err != nil {
+		fatal(err)
+	}
+	var injStats faultinject.Stats
+	if err := json.NewDecoder(statsResp.Body).Decode(&injStats); err != nil {
+		fatal(err)
+	}
+	statsResp.Body.Close()
+	fmt.Printf("  GET %s/stats -> %d requests seen, %d injected 500s\n",
+		faultinject.ControlPrefix, injStats.Requests, injStats.Status)
+
+	del, err := http.NewRequest(http.MethodDelete,
+		home+faultinject.ControlPrefix+"/rules?id="+installed.ID, nil)
+	if err != nil {
+		fatal(err)
+	}
+	delResp, err := http.DefaultClient.Do(del)
+	if err != nil {
+		fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("DELETE rule: status %d", delResp.StatusCode))
+	}
+	retriedBefore := st.Retried
+	quiet, err := chaosSched.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	quietJSON, _ := json.Marshal(quiet)
+	fmt.Printf("  DELETE the rule, re-run: byte-identical=%v, %d new failovers — the fleet is quiet again\n",
+		bytes.Equal(quietJSON, serialJSON), chaosSched.Stats().Retried-retriedBefore)
+	if !bytes.Equal(quietJSON, serialJSON) || chaosSched.Stats().Retried != retriedBefore {
+		fatal(fmt.Errorf("post-chaos suite not clean"))
 	}
 }

@@ -1,0 +1,118 @@
+package simd
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Shed reasons, the `reason` label of simd_shed_total.
+const (
+	// ShedQueueFull: the bounded wait queue was already at -max-queue
+	// depth when the request arrived.
+	ShedQueueFull = "queue_full"
+	// ShedWaitDeadline: the request queued, but no slot freed within
+	// -queue-wait.
+	ShedWaitDeadline = "wait_deadline"
+)
+
+// ShedError is the admission controller refusing work: the server is
+// saturated and queueing further would only stack goroutines behind
+// clients that will give up anyway.  Handlers map it to 503 with a
+// Retry-After header so well-behaved callers (and the scheduler's ring
+// walk) back off or fail over instead of re-queueing instantly.
+type ShedError struct {
+	// Reason is ShedQueueFull or ShedWaitDeadline.
+	Reason string
+	// RetryAfter is the backoff hint served in the Retry-After header.
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("simd: overloaded (%s), retry after %s", e.Reason, e.RetryAfter)
+}
+
+// RetryAfterSeconds renders the hint for the Retry-After header
+// (integer seconds, at least 1 — zero would read as "retry now").
+func (e *ShedError) RetryAfterSeconds() int {
+	secs := int(e.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// admission bounds both the concurrency and the queue of a simd server:
+// slots caps concurrent simulations at the engine's worker count
+// (unchanged from the original design), while maxQueue and maxWait
+// bound how many requests may wait for a slot and for how long.  With
+// both zero the controller degrades to the legacy behaviour — queue
+// without limit until the request context ends.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int
+	maxWait  time.Duration
+
+	// waiting is the live queue depth (requests blocked in acquire).
+	waiting atomic.Int64
+	// shedQueue / shedWait count rejections by reason, for
+	// simd_shed_total{reason}.
+	shedQueue atomic.Uint64
+	shedWait  atomic.Uint64
+}
+
+func newAdmission(capacity, maxQueue int, maxWait time.Duration) *admission {
+	return &admission{
+		slots:    make(chan struct{}, capacity),
+		maxQueue: maxQueue,
+		maxWait:  maxWait,
+	}
+}
+
+// retryAfter is the backoff hint for a shed request: the queue-wait
+// bound when one is configured (a freed slot sooner than that is
+// already spoken for by the queued requests ahead), one second
+// otherwise.
+func (a *admission) retryAfter() time.Duration {
+	if a.maxWait > 0 {
+		return a.maxWait
+	}
+	return time.Second
+}
+
+// acquire claims a simulation slot: immediately when one is free,
+// otherwise by queueing — bounded by maxQueue depth on entry, by
+// maxWait while blocked, and always by ctx.  Depth and deadline
+// rejections return *ShedError; a context end returns ctx.Err()
+// (the client left; nothing was shed).
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	n := a.waiting.Add(1)
+	defer a.waiting.Add(-1)
+	if a.maxQueue > 0 && n > int64(a.maxQueue) {
+		a.shedQueue.Add(1)
+		return &ShedError{Reason: ShedQueueFull, RetryAfter: a.retryAfter()}
+	}
+	var deadline <-chan time.Time
+	if a.maxWait > 0 {
+		t := time.NewTimer(a.maxWait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-deadline:
+		a.shedWait.Add(1)
+		return &ShedError{Reason: ShedWaitDeadline, RetryAfter: a.retryAfter()}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }

@@ -1,0 +1,161 @@
+package simd
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/frontendsim"
+)
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 1, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter is allowed to queue.
+	queued := make(chan error, 1)
+	go func() { queued <- a.acquire(context.Background()) }()
+	waitFor(t, "first waiter to queue", func() bool { return a.waiting.Load() == 1 })
+
+	// The second is over the depth bound and shed immediately.
+	err := a.acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ShedQueueFull {
+		t.Fatalf("over-depth acquire = %v, want ShedError(queue_full)", err)
+	}
+	if se.RetryAfterSeconds() < 1 {
+		t.Errorf("RetryAfterSeconds = %d, want >= 1", se.RetryAfterSeconds())
+	}
+	if a.shedQueue.Load() != 1 {
+		t.Errorf("shedQueue = %d, want 1", a.shedQueue.Load())
+	}
+
+	// Releasing the slot admits the queued waiter.
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter = %v, want admission", err)
+	}
+	a.release()
+}
+
+func TestAdmissionWaitDeadline(t *testing.T) {
+	a := newAdmission(1, 0, 10*time.Millisecond)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.release()
+
+	err := a.acquire(context.Background())
+	var se *ShedError
+	if !errors.As(err, &se) || se.Reason != ShedWaitDeadline {
+		t.Fatalf("expired wait = %v, want ShedError(wait_deadline)", err)
+	}
+	if a.shedWait.Load() != 1 {
+		t.Errorf("shedWait = %d, want 1", a.shedWait.Load())
+	}
+}
+
+func TestAdmissionContextEndIsNotAShed(t *testing.T) {
+	a := newAdmission(1, 0, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer a.release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	if a.shedQueue.Load() != 0 || a.shedWait.Load() != 0 {
+		t.Error("client departure counted as a shed")
+	}
+}
+
+func TestAdmissionUnboundedByDefault(t *testing.T) {
+	a := newAdmission(1, 0, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = a.acquire(context.Background())
+			if errs[i] == nil {
+				a.release()
+			}
+		}(i)
+	}
+	waitFor(t, "all waiters queued or admitted", func() bool {
+		return a.waiting.Load() == waiters
+	})
+	a.release()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d: %v (zero-value admission must never shed)", i, err)
+		}
+	}
+}
+
+// TestSimulateShedsWithRetryAfter pins the HTTP contract of a shed:
+// 503, the JSON error envelope, and a Retry-After header.
+func TestSimulateShedsWithRetryAfter(t *testing.T) {
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(30_000),
+		frontendsim.WithMeasureOps(60_000),
+		frontendsim.WithWorkers(1),
+	)
+	srv := NewServer(eng, 0, WithAdmission(0, 10*time.Millisecond))
+
+	// Occupy the single slot so the request must queue, then time out.
+	srv.adm.slots <- struct{}{}
+	defer func() { <-srv.adm.slots }()
+
+	w := post(t, srv, "/v1/simulations", `{"benchmark":"gzip"}`)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, body %s, want 503", w.Code, w.Body.String())
+	}
+	if ra := w.Header().Get("Retry-After"); ra == "" {
+		t.Error("503 shed carries no Retry-After header")
+	}
+	if body := w.Body.String(); body == "" || body[0] != '{' {
+		t.Errorf("shed body is not the JSON envelope: %q", body)
+	}
+}
+
+// TestDeadlineBudgetBoundsRequest asserts an exhausted X-Deadline-Budget
+// fails the request as a cancellation (499), not a 5xx.
+func TestDeadlineBudgetBoundsRequest(t *testing.T) {
+	srv := testServer(0)
+	req := httptest.NewRequest(http.MethodPost, "/v1/simulations", strings.NewReader(`{"benchmark":"gzip"}`))
+	req.Header.Set(frontendsim.DeadlineBudgetHeader, "0")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != 499 {
+		t.Fatalf("status = %d, body %s, want 499", w.Code, w.Body.String())
+	}
+}

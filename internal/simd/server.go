@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/singleflight"
 	"repro/pkg/frontendsim"
@@ -47,11 +49,16 @@ type Server struct {
 	// 503 so the scheduler's probes quarantine this backend (draining)
 	// while in-flight and even new requests still complete.
 	ready atomic.Bool
-	// slots bounds concurrent simulations at the Engine's worker count;
-	// excess requests queue here (or give up when their context ends)
-	// instead of oversubscribing the CPU with unbounded handler
-	// goroutines.
-	slots chan struct{}
+	// adm bounds concurrent simulations at the Engine's worker count and
+	// (with WithAdmission) the queue of requests waiting for a slot:
+	// excess load is shed with 503 + Retry-After instead of stacking
+	// handler goroutines behind clients that will give up anyway.
+	adm *admission
+	// partial switches the suite endpoints to graceful degradation:
+	// shard failures become per-shard error entries (X-Cache:
+	// PARTIAL-ERROR, NDJSON shard-error lines) instead of failing the
+	// whole suite.
+	partial bool
 	// flight single-flights concurrent identical requests on the
 	// canonical key: the simulation runs once, every concurrent caller
 	// shares the marshalled response.  Suite entries route through the
@@ -84,6 +91,31 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
+// WithAdmission bounds the slot wait queue: at most maxQueue requests
+// may wait for a simulation slot (further arrivals are shed
+// immediately), and no request waits longer than maxWait.  Shed
+// requests get 503 with a Retry-After header and count in
+// simd_shed_total{reason}.  Zero for either disables that bound; the
+// zero-value server queues without limit (the pre-admission-control
+// behaviour).
+func WithAdmission(maxQueue int, maxWait time.Duration) Option {
+	return func(s *Server) {
+		s.adm.maxQueue = maxQueue
+		s.adm.maxWait = maxWait
+	}
+}
+
+// WithPartialResults switches the suite endpoints to graceful
+// degradation: when some shards cannot be served, /v1/suites answers
+// 200 with X-Cache: PARTIAL-ERROR, per-shard `errors` entries and an
+// aggregate over the shards that completed, and /v1/suites/stream
+// emits {"type":"shard-error"} lines — instead of failing the whole
+// suite for one dead shard.  A suite in which *every* shard fails
+// still errors.
+func WithPartialResults() Option {
+	return func(s *Server) { s.partial = true }
+}
+
 // NewServer builds a Server over eng with an in-memory LRU response
 // store of cacheSize entries (cacheSize < 1 disables caching).  At most
 // eng.Workers() simulations run concurrently.
@@ -102,7 +134,7 @@ func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store, opts .
 		store:   store,
 		mux:     http.NewServeMux(),
 		maxBody: DefaultMaxBodyBytes,
-		slots:   make(chan struct{}, eng.Workers()),
+		adm:     newAdmission(eng.Workers(), 0, 0),
 	}
 	s.ready.Store(true)
 	for _, opt := range opts {
@@ -155,7 +187,16 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 		})
 	reg.Sampled("simd_slots_in_use", "Simulation slots currently running (capacity = engine workers).",
 		obs.TypeGauge, nil, func(emit func([]string, float64)) {
-			emit(nil, float64(len(s.slots)))
+			emit(nil, float64(len(s.adm.slots)))
+		})
+	reg.Sampled("simd_queue_depth", "Requests currently waiting for a simulation slot.",
+		obs.TypeGauge, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.adm.waiting.Load()))
+		})
+	reg.Sampled("simd_shed_total", "Requests shed by admission control, by reason.",
+		obs.TypeCounter, []string{"reason"}, func(emit func([]string, float64)) {
+			emit([]string{ShedQueueFull}, float64(s.adm.shedQueue.Load()))
+			emit([]string{ShedWaitDeadline}, float64(s.adm.shedWait.Load()))
 		})
 	reg.Sampled("simd_ready", "1 while the server reports ready on /healthz, 0 while draining.",
 		obs.TypeGauge, nil, func(emit func([]string, float64)) {
@@ -219,10 +260,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // as 400 would make the scheduler's retry classifier treat a backend
 // fault as permanent and abort its ring walk instead of failing over.
 func statusFor(err error) int {
+	var se *ShedError
+	if errors.As(err, &se) {
+		return http.StatusServiceUnavailable
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return 499
 	}
 	return http.StatusInternalServerError
+}
+
+// writeRunError is writeError for errors out of a run: it adds the
+// Retry-After header when admission control shed the request, so the
+// 503 tells clients *when* to come back, not just to go away.
+func writeRunError(w http.ResponseWriter, err error) {
+	var se *ShedError
+	if errors.As(err, &se) {
+		w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfterSeconds()))
+	}
+	writeError(w, statusFor(err), err)
+}
+
+// requestContext derives the handler context: the request's own,
+// bounded by the caller's X-Deadline-Budget when the hop carries one.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return frontendsim.ApplyDeadlineBudget(r.Context(), r.Header.Get(frontendsim.DeadlineBudgetHeader))
 }
 
 // decodeStatus maps a request-decoding failure to its HTTP status: an
@@ -236,17 +298,11 @@ func decodeStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-// acquire claims a simulation slot, or fails when ctx ends first.
-func (s *Server) acquire(ctx context.Context) error {
-	select {
-	case s.slots <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
+// acquire claims a simulation slot through the admission controller, or
+// fails when the queue bounds are exceeded (*ShedError) or ctx ends.
+func (s *Server) acquire(ctx context.Context) error { return s.adm.acquire(ctx) }
 
-func (s *Server) release() { <-s.slots }
+func (s *Server) release() { s.adm.release() }
 
 // decodeRequest decodes a simulation request with the body cap applied
 // and validates it, so every error after a successful decode is the
@@ -334,9 +390,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, source, err := s.simulate(r.Context(), key, req)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	body, source, err := s.simulate(ctx, key, req)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeRunError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -373,19 +431,31 @@ func (s *Server) dispatch(ctx context.Context, req frontendsim.Request) (*fronte
 
 // handleSuite runs a whole benchmark suite in-process (single-node mode
 // of the /v1/suites API that cmd/simsched serves across a backend ring)
-// and responds with the deterministic frontendsim.SuiteResult.
+// and responds with the deterministic frontendsim.SuiteResult.  With
+// WithPartialResults, shard failures degrade to `errors` entries and
+// X-Cache: PARTIAL-ERROR instead of failing the suite.
 func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	suite, err := s.decodeSuite(w, r)
 	if err != nil {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
-	res, err := s.eng.RunSuiteVia(r.Context(), suite, s.dispatch)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	var res *frontendsim.SuiteResult
+	if s.partial {
+		res, err = s.eng.RunSuitePartial(ctx, suite, s.dispatchSource, nil)
+	} else {
+		res, err = s.eng.RunSuiteVia(ctx, suite, s.dispatch)
+	}
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeRunError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if len(res.Errors) > 0 {
+		w.Header().Set("X-Cache", "PARTIAL-ERROR")
+	}
 	json.NewEncoder(w).Encode(res)
 }
 
@@ -402,6 +472,8 @@ func (s *Server) handleSuiteStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
+	ctx, cancel := requestContext(r)
+	defer cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -418,20 +490,39 @@ func (s *Server) handleSuiteStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	res, err := s.eng.RunSuiteStream(r.Context(), suite, s.dispatchSource, func(sh frontendsim.ShardResult) {
-		emit(frontendsim.SuiteStreamLine{
-			Type:      "shard",
-			Positions: sh.Positions,
-			Benchmark: sh.Benchmark,
-			Source:    sh.Source,
-			Result:    sh.Result,
-		})
-	})
+	sink := func(sh frontendsim.ShardResult) { emit(shardLine(sh)) }
+	var res *frontendsim.SuiteResult
+	if s.partial {
+		res, err = s.eng.RunSuitePartial(ctx, suite, s.dispatchSource, sink)
+	} else {
+		res, err = s.eng.RunSuiteStream(ctx, suite, s.dispatchSource, sink)
+	}
 	if err != nil {
 		emit(frontendsim.SuiteStreamLine{Type: "error", Error: err.Error()})
 		return
 	}
 	emit(frontendsim.SuiteStreamLine{Type: "aggregate", Suite: res})
+}
+
+// shardLine renders one sink emission as its NDJSON line: a completed
+// shard as {"type":"shard"}, a failed shard of a partial run as
+// {"type":"shard-error"}.
+func shardLine(sh frontendsim.ShardResult) frontendsim.SuiteStreamLine {
+	if sh.Err != "" {
+		return frontendsim.SuiteStreamLine{
+			Type:      "shard-error",
+			Positions: sh.Positions,
+			Benchmark: sh.Benchmark,
+			Error:     sh.Err,
+		}
+	}
+	return frontendsim.SuiteStreamLine{
+		Type:      "shard",
+		Positions: sh.Positions,
+		Benchmark: sh.Benchmark,
+		Source:    sh.Source,
+		Result:    sh.Result,
+	}
 }
 
 // streamLine is one NDJSON line of the streaming endpoint.
@@ -451,8 +542,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), err)
 		return
 	}
-	if err := s.acquire(r.Context()); err != nil {
-		writeError(w, statusFor(err), err)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		writeRunError(w, err)
 		return
 	}
 	defer s.release()
@@ -466,7 +559,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	})
-	res, err := s.eng.RunObserved(r.Context(), req, obs)
+	res, err := s.eng.RunObserved(ctx, req, obs)
 	if err != nil {
 		enc.Encode(streamLine{Type: "error", Error: err.Error()})
 		return

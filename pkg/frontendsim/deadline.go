@@ -1,0 +1,45 @@
+package frontendsim
+
+import (
+	"context"
+	"strconv"
+	"time"
+)
+
+// DeadlineBudgetHeader carries a caller's remaining deadline across an
+// HTTP hop, as integer milliseconds.  The scheduler's client stamps it
+// from the dispatch context's deadline and both servers apply it to the
+// request context, so a retried or fanned-out shard never outlives the
+// patience of the caller that asked for it — ring walks stop burning
+// backends on work nobody is waiting for.
+const DeadlineBudgetHeader = "X-Deadline-Budget"
+
+// EncodeDeadlineBudget renders ctx's remaining deadline as a
+// DeadlineBudgetHeader value, or "" when ctx has no deadline.  An
+// already-expired deadline encodes as "0" — the receiver fails fast
+// rather than starting doomed work.
+func EncodeDeadlineBudget(ctx context.Context) string {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return ""
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	return strconv.FormatInt(ms, 10)
+}
+
+// ApplyDeadlineBudget bounds ctx by a DeadlineBudgetHeader value.  An
+// empty or malformed value leaves ctx unchanged (the hop simply carries
+// no budget); the returned cancel must always be called.
+func ApplyDeadlineBudget(ctx context.Context, value string) (context.Context, context.CancelFunc) {
+	if value == "" {
+		return context.WithCancel(ctx)
+	}
+	ms, err := strconv.ParseInt(value, 10, 64)
+	if err != nil || ms < 0 {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+}

@@ -2,6 +2,7 @@ package frontendsim
 
 import (
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -24,8 +25,12 @@ type ShardResult struct {
 	// Source reports how the dispatcher served the shard ("HIT",
 	// "COALESCED", "MISS"; empty when unknown).
 	Source string `json:"source,omitempty"`
-	// Result is the shard's result, shared by every position.
+	// Result is the shard's result, shared by every position.  Nil when
+	// Err is set.
 	Result *Result `json:"result"`
+	// Err is the shard's dispatch error, set only in partial-results
+	// runs (RunSuitePartial) when the shard failed; Result is nil.
+	Err string `json:"error,omitempty"`
 }
 
 // StreamSink receives each completed shard of RunSuiteStream the moment
@@ -39,11 +44,14 @@ type StreamSink func(ShardResult)
 // endpoints (internal/simd single-node, pkg/scheduler ring fan-in).
 // Type selects which fields are populated:
 //
-//	"shard"     Positions/Benchmark/Source/Result — one completed shard
-//	"aggregate" Suite — the terminal deterministic SuiteResult,
-//	            byte-identical (as JSON) to the blocking POST /v1/suites
-//	            response for the same request
-//	"error"     Error — the run failed; no aggregate follows
+//	"shard"       Positions/Benchmark/Source/Result — one completed shard
+//	"shard-error" Positions/Benchmark/Error — one shard failed in a
+//	              partial-results run; the run continues and the
+//	              terminal aggregate excludes it
+//	"aggregate"   Suite — the terminal deterministic SuiteResult,
+//	              byte-identical (as JSON) to the blocking POST
+//	              /v1/suites response for the same request
+//	"error"       Error — the run failed; no aggregate follows
 type SuiteStreamLine struct {
 	Type      string       `json:"type"`
 	Positions []int        `json:"positions,omitempty"`
@@ -62,7 +70,7 @@ type SuiteStreamLine struct {
 // changes when results become visible, never what they are.  A nil sink
 // degrades to RunSuiteVia with a sourced dispatcher.
 func (e *Engine) RunSuiteStream(ctx context.Context, suite SuiteRequest, dispatch SourcedDispatcher, sink StreamSink) (*SuiteResult, error) {
-	return e.runSuite(ctx, suite, dispatch, sink)
+	return e.runSuite(ctx, suite, dispatch, sink, false)
 }
 
 // runSuite is the shared suite executor behind RunSuiteVia and
@@ -71,8 +79,11 @@ func (e *Engine) RunSuiteStream(ctx context.Context, suite SuiteRequest, dispatc
 // position and folded in that order, so the aggregate is byte-identical
 // whatever the completion order — and identical to a Workers==1 serial
 // run.  The first error (including context cancellation) aborts the
-// remaining work.
-func (e *Engine) runSuite(ctx context.Context, suite SuiteRequest, dispatch SourcedDispatcher, sink StreamSink) (*SuiteResult, error) {
+// remaining work — unless partial is set, in which case dispatch
+// failures are recorded per shard (emitted to sink with Err set) and
+// the rest of the suite runs to completion; only context cancellation
+// still aborts.
+func (e *Engine) runSuite(ctx context.Context, suite SuiteRequest, dispatch SourcedDispatcher, sink StreamSink, partial bool) (*SuiteResult, error) {
 	if err := suite.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,6 +93,9 @@ func (e *Engine) runSuite(ctx context.Context, suite SuiteRequest, dispatch Sour
 		return nil, err
 	}
 	results := make([]*Result, len(reqs))
+	// shardErrs[i] is shard i's dispatch error in partial mode; each
+	// shard is owned by exactly one worker, so the slots race-free.
+	shardErrs := make([]error, len(shards))
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -111,8 +125,24 @@ func (e *Engine) runSuite(ctx context.Context, suite SuiteRequest, dispatch Sour
 				positions := shards[i]
 				res, source, err := dispatch(ctx, reqs[positions[0]])
 				if err != nil {
-					fail(err)
-					return
+					// In partial mode only cancellation of the run
+					// itself is fatal; a per-shard dispatch failure is
+					// recorded and the pool keeps draining.
+					if !partial || ctx.Err() != nil {
+						fail(err)
+						return
+					}
+					shardErrs[i] = err
+					if sink != nil {
+						emitMu.Lock()
+						sink(ShardResult{
+							Positions: positions,
+							Benchmark: reqs[positions[0]].Benchmark,
+							Err:       err.Error(),
+						})
+						emitMu.Unlock()
+					}
+					continue
 				}
 				for _, p := range positions {
 					results[p] = res
@@ -146,5 +176,25 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &SuiteResult{Results: results, Aggregate: aggregate(results)}, nil
+	var shardErrors []ShardError
+	if partial {
+		failed := 0
+		for si, derr := range shardErrs {
+			if derr == nil {
+				continue
+			}
+			failed++
+			positions := shards[si]
+			shardErrors = append(shardErrors, ShardError{
+				Positions: positions,
+				Benchmark: reqs[positions[0]].Benchmark,
+				Err:       derr.Error(),
+			})
+		}
+		if failed == len(shards) && len(shards) > 0 {
+			// Every shard failed: there is nothing to degrade to.
+			return nil, fmt.Errorf("frontendsim: all %d suite shards failed: %w", len(shards), shardErrs[0])
+		}
+	}
+	return &SuiteResult{Results: results, Errors: shardErrors, Aggregate: aggregate(results)}, nil
 }

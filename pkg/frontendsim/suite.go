@@ -59,17 +59,34 @@ type SuiteAggregate struct {
 	Units         map[string]metrics.Triple `json:"units"`
 }
 
+// ShardError records one shard that could not be dispatched during a
+// partial-results run: the suite positions it covers, its benchmark,
+// and the dispatch error.  The corresponding Results entries are nil.
+type ShardError struct {
+	// Positions are the suite indices sharing the failed shard's
+	// canonical key, ascending.
+	Positions []int `json:"positions"`
+	// Benchmark is the failed request's benchmark.
+	Benchmark string `json:"benchmark"`
+	// Err is the dispatch error's message.
+	Err string `json:"error"`
+}
+
 // SuiteResult is the outcome of RunSuite: per-benchmark results in suite
-// order plus the deterministic aggregate.
+// order plus the deterministic aggregate.  Errors is populated only by
+// partial-results runs (RunSuitePartial): each entry names a shard whose
+// dispatch failed, its Results positions are nil, and the aggregate
+// folds the shards that did complete.
 type SuiteResult struct {
 	Results   []*Result      `json:"results"`
+	Errors    []ShardError   `json:"errors,omitempty"`
 	Aggregate SuiteAggregate `json:"aggregate"`
 }
 
 // ByBenchmark returns the result for one benchmark, or nil.
 func (s *SuiteResult) ByBenchmark(name string) *Result {
 	for _, r := range s.Results {
-		if r.Benchmark == name {
+		if r != nil && r.Benchmark == name {
 			return r
 		}
 	}
@@ -127,20 +144,39 @@ func (e *Engine) RunSuiteVia(ctx context.Context, suite SuiteRequest, dispatch D
 	return e.runSuite(ctx, suite, func(ctx context.Context, req Request) (*Result, string, error) {
 		res, err := dispatch(ctx, req)
 		return res, "", err
-	}, nil)
+	}, nil, false)
 }
 
-// aggregate folds results in slice order.
+// RunSuitePartial is RunSuiteStream in graceful-degradation mode: a
+// shard whose dispatch fails no longer aborts the run.  Instead the
+// failure is recorded as a ShardError (emitted to sink, when non-nil,
+// as a ShardResult with Err set), its Results positions stay nil, and
+// the remaining shards run to completion.  The aggregate folds only the
+// shards that completed, so a suite with one dead benchmark still
+// answers with well-formed numbers for the rest.
+//
+// Context cancellation still aborts the whole run, and a suite in which
+// every shard fails returns an error rather than an empty result —
+// partial results degrade an answer, they don't fabricate one.  A run
+// with no failures returns a SuiteResult byte-identical (as JSON) to
+// RunSuiteVia/RunSuiteStream of the same suite.
+func (e *Engine) RunSuitePartial(ctx context.Context, suite SuiteRequest, dispatch SourcedDispatcher, sink StreamSink) (*SuiteResult, error) {
+	return e.runSuite(ctx, suite, dispatch, sink, true)
+}
+
+// aggregate folds results in slice order, skipping nil entries (failed
+// shards of a partial run).  Benchmarks counts the folded results, so a
+// partial aggregate's means stay means over what actually completed.
 func aggregate(results []*Result) SuiteAggregate {
 	agg := SuiteAggregate{
-		Benchmarks: len(results),
-		Units:      map[string]metrics.Triple{},
-	}
-	if len(results) == 0 {
-		return agg
+		Units: map[string]metrics.Triple{},
 	}
 	sums := map[string]metrics.Triple{}
 	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		agg.Benchmarks++
 		agg.MeanIPC += r.IPC
 		agg.MeanTCHitRate += r.TCHitRate
 		agg.TotalCycles += r.MeasCycles
@@ -154,7 +190,10 @@ func aggregate(results []*Result) SuiteAggregate {
 			sums[name] = s
 		}
 	}
-	n := float64(len(results))
+	if agg.Benchmarks == 0 {
+		return agg
+	}
+	n := float64(agg.Benchmarks)
 	agg.MeanIPC /= n
 	agg.MeanTCHitRate /= n
 	for name, s := range sums {

@@ -151,24 +151,31 @@ type Registry struct {
 	now func() time.Time
 
 	// counters (also exported through cfg.Metrics when set)
-	probes      atomic.Uint64
-	probeFails  atomic.Uint64
-	quarantines atomic.Uint64
-	reinstates  atomic.Uint64
-	evictions   atomic.Uint64
-	joins       atomic.Uint64
-	leaves      atomic.Uint64
+	probes         atomic.Uint64
+	probeFails     atomic.Uint64
+	passiveReports atomic.Uint64
+	passiveFails   atomic.Uint64
+	quarantines    atomic.Uint64
+	reinstates     atomic.Uint64
+	evictions      atomic.Uint64
+	joins          atomic.Uint64
+	leaves         atomic.Uint64
 }
 
 // Stats are the registry's cumulative transition counters.
 type Stats struct {
-	Probes         uint64 `json:"probes"`
-	ProbeFailures  uint64 `json:"probe_failures"`
-	Quarantines    uint64 `json:"quarantines"`
-	Reinstatements uint64 `json:"reinstatements"`
-	Evictions      uint64 `json:"evictions"`
-	Joins          uint64 `json:"joins"`
-	Leaves         uint64 `json:"leaves"`
+	Probes uint64 `json:"probes"`
+	// PassiveReports counts dispatch verdicts fed in through
+	// ReportDispatch — real traffic standing in for probes between
+	// rounds.
+	PassiveReports  uint64 `json:"passive_reports"`
+	ProbeFailures   uint64 `json:"probe_failures"`
+	PassiveFailures uint64 `json:"passive_failures"`
+	Quarantines     uint64 `json:"quarantines"`
+	Reinstatements  uint64 `json:"reinstatements"`
+	Evictions       uint64 `json:"evictions"`
+	Joins           uint64 `json:"joins"`
+	Leaves          uint64 `json:"leaves"`
 }
 
 // New builds a registry seeded with the given member URLs, all initially
@@ -230,6 +237,12 @@ func (r *Registry) registerMetrics(m *obs.Registry) {
 			st := r.Stats()
 			emit([]string{"ok"}, float64(st.Probes-st.ProbeFailures))
 			emit([]string{"fail"}, float64(st.ProbeFailures))
+		})
+	m.Sampled("ring_passive_reports_total", "Dispatch verdicts fed in via ReportDispatch, by result.",
+		obs.TypeCounter, []string{"result"}, func(emit func([]string, float64)) {
+			st := r.Stats()
+			emit([]string{"ok"}, float64(st.PassiveReports-st.PassiveFailures))
+			emit([]string{"fail"}, float64(st.PassiveFailures))
 		})
 	m.Sampled("ring_transitions_total", "Member lifecycle transitions.", obs.TypeCounter, []string{"kind"},
 		func(emit func([]string, float64)) {
@@ -319,14 +332,63 @@ func (r *Registry) Snapshot() []Info {
 // Stats returns the cumulative transition counters.
 func (r *Registry) Stats() Stats {
 	return Stats{
-		Probes:         r.probes.Load(),
-		ProbeFailures:  r.probeFails.Load(),
-		Quarantines:    r.quarantines.Load(),
-		Reinstatements: r.reinstates.Load(),
-		Evictions:      r.evictions.Load(),
-		Joins:          r.joins.Load(),
-		Leaves:         r.leaves.Load(),
+		Probes:          r.probes.Load(),
+		PassiveReports:  r.passiveReports.Load(),
+		ProbeFailures:   r.probeFails.Load(),
+		PassiveFailures: r.passiveFails.Load(),
+		Quarantines:     r.quarantines.Load(),
+		Reinstatements:  r.reinstates.Load(),
+		Evictions:       r.evictions.Load(),
+		Joins:           r.joins.Load(),
+		Leaves:          r.leaves.Load(),
 	}
+}
+
+// ReportDispatch feeds one real dispatch attempt's verdict into the
+// registry: err == nil is a success, anything else a failure.  Passive
+// failures share the member's consecutive-failure streak with probes, so
+// a backend that fails live traffic is quarantined as soon as the streak
+// reaches QuarantineAfter — without waiting for the next probe round.
+// A passive success resets an active member's streak but does NOT
+// reinstate a quarantined one: reinstatement stays probe- (or join-)
+// driven, since a quarantined member receives no routed traffic and any
+// late success belongs to an in-flight request from before quarantine.
+// Unknown members are ignored (the dispatch may have raced an eviction).
+// Wire scheduler.Config.ReportDispatch to this method.
+func (r *Registry) ReportDispatch(url string, dispatchErr error) {
+	r.passiveReports.Add(1)
+	if dispatchErr != nil {
+		r.passiveFails.Add(1)
+	}
+
+	r.changeMu.Lock()
+	defer r.changeMu.Unlock()
+	r.mu.Lock()
+	m, ok := r.members[url]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	if dispatchErr == nil {
+		if m.state == StateActive {
+			m.fails = 0
+			m.lastErr = ""
+		}
+		r.mu.Unlock()
+		return
+	}
+	m.fails++
+	m.lastErr = dispatchErr.Error()
+	if m.state == StateActive && m.fails >= r.cfg.QuarantineAfter {
+		m.state = StateQuarantined
+		m.quarantinedAt = r.now()
+		r.quarantines.Add(1)
+		r.logf("membership: %s quarantined after %d consecutive failures (dispatch: %v)",
+			url, m.fails, dispatchErr)
+		r.bumpLocked() // unlocks
+		return
+	}
+	r.mu.Unlock()
 }
 
 // Join adds (or reinstates) a member as active.  Joining an existing

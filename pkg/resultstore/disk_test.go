@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"testing"
+
+	"repro/pkg/faultinject"
 )
 
 func openDisk(t *testing.T, dir string, cfg DiskConfig) *Disk {
@@ -92,28 +94,48 @@ func TestDiskKillAndReopen(t *testing.T) {
 
 // TestDiskTruncatedTailRecovery chops bytes off the last segment —
 // simulating a crash mid-append — and asserts replay recovers every
-// record before the torn one and the store accepts appends again.
+// record before the torn one and the store accepts appends again.  The
+// chop length comes from the shared faultinject corrupter (the same
+// seeded mangling path the chaos proxies use), bounded to the last
+// record so each seed tears it somewhere different without reaching the
+// intact records.
 func TestDiskTruncatedTailRecovery(t *testing.T) {
-	for _, chop := range []int64{1, 3, recTrailerLen + 1} {
-		t.Run(fmt.Sprintf("chop%d", chop), func(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			dir := t.TempDir()
 			d := openDisk(t, dir, DiskConfig{})
 			mustSet(t, d, "intact-1", "one")
 			mustSet(t, d, "intact-2", "two")
-			mustSet(t, d, "torn", "this record will lose its tail")
 			if err := d.Close(); err != nil {
 				t.Fatal(err)
 			}
-
 			segs := segments(t, dir)
 			if len(segs) != 1 {
 				t.Fatalf("%d segments, want 1", len(segs))
 			}
-			st, err := os.Stat(segs[0])
+			intactSize, err := os.Stat(segs[0])
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := os.Truncate(segs[0], st.Size()-chop); err != nil {
+
+			re0 := openDisk(t, dir, DiskConfig{})
+			mustSet(t, re0, "torn", "this record will lose its tail")
+			if err := re0.Close(); err != nil {
+				t.Fatal(err)
+			}
+			full, err := os.Stat(segs[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Tear 1..len(last record) bytes off: the torn record is lost
+			// (cleanly or mid-byte), everything before it stays intact.
+			lastRec := int(full.Size() - intactSize.Size())
+			chop := faultinject.NewCorrupter(seed).TornTail(int(full.Size()), lastRec)
+			if chop < 1 || chop > lastRec {
+				t.Fatalf("chop = %d, want within the %d-byte last record", chop, lastRec)
+			}
+			if err := os.Truncate(segs[0], full.Size()-int64(chop)); err != nil {
 				t.Fatal(err)
 			}
 
@@ -145,34 +167,44 @@ func TestDiskTruncatedTailRecovery(t *testing.T) {
 }
 
 // TestDiskCorruptRecordRecovery flips a byte inside the last record's
-// value so the length framing is intact but the CRC fails.
+// value so the length framing is intact but the CRC fails.  The flip
+// offset is drawn by the shared faultinject corrupter, restricted to
+// the value region, so each seed lands the corruption somewhere else.
 func TestDiskCorruptRecordRecovery(t *testing.T) {
-	dir := t.TempDir()
-	d := openDisk(t, dir, DiskConfig{})
-	mustSet(t, d, "good", "kept")
-	mustSet(t, d, "bad", "to be corrupted")
-	if err := d.Close(); err != nil {
-		t.Fatal(err)
-	}
+	const badValue = "to be corrupted"
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			d := openDisk(t, dir, DiskConfig{})
+			mustSet(t, d, "good", "kept")
+			mustSet(t, d, "bad", badValue)
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
 
-	seg := segments(t, dir)[0]
-	raw, err := os.ReadFile(seg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Flip one byte inside the last record's value (well before its
-	// trailing CRC).
-	raw[len(raw)-recTrailerLen-2] ^= 0xff
-	if err := os.WriteFile(seg, raw, 0o644); err != nil {
-		t.Fatal(err)
-	}
+			seg := segments(t, dir)[0]
+			raw, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Flip one byte inside the last record's value — between its
+			// framing and its trailing CRC, both left intact.
+			from := len(raw) - recTrailerLen - len(badValue)
+			if got := faultinject.NewCorrupter(seed).FlipByteIn(raw, from, len(raw)-recTrailerLen); got < from {
+				t.Fatalf("FlipByteIn = %d, want an offset in the value region", got)
+			}
+			if err := os.WriteFile(seg, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
 
-	re := openDisk(t, dir, DiskConfig{})
-	if v, ok := mustGet(t, re, "good"); !ok || string(v) != "kept" {
-		t.Errorf("good = %q %v", v, ok)
-	}
-	if _, ok := mustGet(t, re, "bad"); ok {
-		t.Error("corrupt record served")
+			re := openDisk(t, dir, DiskConfig{})
+			if v, ok := mustGet(t, re, "good"); !ok || string(v) != "kept" {
+				t.Errorf("good = %q %v", v, ok)
+			}
+			if _, ok := mustGet(t, re, "bad"); ok {
+				t.Error("corrupt record served")
+			}
+		})
 	}
 }
 

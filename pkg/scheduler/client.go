@@ -60,6 +60,12 @@ func (c *Client) Simulate(ctx context.Context, node string, req frontendsim.Requ
 		return nil, fmt.Errorf("scheduler: build request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if budget := frontendsim.EncodeDeadlineBudget(ctx); budget != "" {
+		// Propagate the caller's remaining deadline so the backend bounds
+		// its own work: a retried shard never outlives the patience of
+		// the caller that asked for it.
+		hreq.Header.Set(frontendsim.DeadlineBudgetHeader, budget)
+	}
 	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		// Transport failure: wrap with the node so retries are traceable.

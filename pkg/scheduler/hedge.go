@@ -97,25 +97,45 @@ func (s *Scheduler) dispatchHedged(ctx context.Context, nodes []string, req fron
 		took   time.Duration
 	}
 	resc := make(chan attempt, len(nodes))
-	launched, pending := 0, 0
-	launch := func(hedged bool) {
-		idx := launched
-		launched++
-		pending++
-		if idx > 0 {
+	launched, pending, attemptNo := 0, 0, 0
+	// fire starts one attempt at nodes[idx] unconditionally.
+	fire := func(idx int, hedged bool) {
+		if attemptNo > 0 {
 			if hedged {
 				s.hedged.Add(1)
 			} else {
 				s.retried.Add(1)
 			}
 		}
+		attemptNo++
+		pending++
 		go func() {
 			start := time.Now()
 			res, err := s.client.Simulate(hctx, nodes[idx], req)
+			s.reportAttempt(ctx, nodes[idx], err)
 			resc <- attempt{idx: idx, hedged: hedged, res: res, err: err, took: time.Since(start)}
 		}()
 	}
-	launch(false)
+	// launch advances to the next node whose circuit admits a request
+	// and fires it; skipped nodes don't burn an attempt.  Reports false
+	// when every remaining node is breaker-open.
+	launch := func(hedged bool) bool {
+		for launched < len(nodes) {
+			idx := launched
+			launched++
+			if !s.allowNode(nodes[idx]) {
+				continue
+			}
+			fire(idx, hedged)
+			return true
+		}
+		return false
+	}
+	if !launch(false) {
+		// Every node's circuit is open: force the home node (it doubles
+		// as a breaker probe) rather than fail with nothing tried.
+		fire(0, false)
+	}
 	timer := time.NewTimer(s.hedgeAfter())
 	defer timer.Stop()
 
@@ -140,10 +160,15 @@ func (s *Scheduler) dispatchHedged(ctx context.Context, nodes []string, req fron
 			lastErr = a.err
 			if pending == 0 && launched < len(nodes) {
 				// Every in-flight attempt failed: fall back to the plain
-				// sequential walk on the next node.  The timer may have
-				// expired while we were waiting on resc, leaving a stale
-				// tick in timer.C — stop-drain-reset, or the next select
+				// sequential walk on the next node, after the jittered
+				// retry backoff (nothing is pending, so sleeping here
+				// stalls no other attempt).  The timer may have expired
+				// while we were waiting on resc, leaving a stale tick in
+				// timer.C — stop-drain-reset, or the next select
 				// iteration hedges instantly.
+				if err := s.backoff(ctx, attemptNo); err != nil {
+					return nil, err
+				}
 				launch(false)
 				rearmTimer(timer, s.hedgeAfter())
 			}
@@ -156,5 +181,5 @@ func (s *Scheduler) dispatchHedged(ctx context.Context, nodes []string, req fron
 			return nil, ctx.Err()
 		}
 	}
-	return nil, &ExhaustedError{Benchmark: req.Benchmark, Attempts: launched, Last: lastErr}
+	return nil, &ExhaustedError{Benchmark: req.Benchmark, Attempts: attemptNo, Last: lastErr}
 }

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +48,32 @@ type Config struct {
 	// Metrics, when set, re-exports the dispatch counters and the
 	// scheduler-tier store counters on the registry (GET /metrics).
 	Metrics *obs.Registry
+	// RetryBackoff enables jittered exponential backoff between ring-walk
+	// retry attempts: the nth retry of a shard waits ~RetryBackoff·2ⁿ⁻¹
+	// (jittered ±50%) before hammering the next backend.  0 disables
+	// (retries fire back-to-back, the pre-backoff behaviour).
+	RetryBackoff time.Duration
+	// BreakerThreshold enables the per-backend passive circuit breaker:
+	// that many consecutive dispatch failures open a backend's circuit
+	// and the ring walk diverts around it until a cooldown probe
+	// succeeds.  0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit diverts traffic before
+	// admitting a half-open probe (0 selects 5s; only meaningful with
+	// BreakerThreshold > 0).
+	BreakerCooldown time.Duration
+	// ReportDispatch, when set, receives every dispatch attempt's verdict
+	// about a backend: nil error for success, the failure otherwise.
+	// Attempts that say nothing about the backend (caller cancellation,
+	// 4xx request errors, reaped hedge losers) are not reported.  Wire it
+	// to membership.Registry.ReportDispatch so real traffic quarantines a
+	// flapping backend between probe rounds.
+	ReportDispatch func(node string, err error)
+	// PartialResults switches RunSuite* to graceful degradation: shards
+	// whose ring walk exhausts every backend become per-shard error
+	// entries (X-Cache: PARTIAL-ERROR at the server tier) instead of
+	// failing the whole suite.
+	PartialResults bool
 }
 
 // Stats are cumulative dispatch counters.
@@ -70,6 +98,12 @@ type Stats struct {
 	HedgeWins uint64 `json:"hedge_wins"`
 	// RingSwaps counts atomic ring replacements (SetBackends).
 	RingSwaps uint64 `json:"ring_swaps"`
+	// BreakerSkips counts dispatch attempts diverted around an open
+	// circuit (the breaker doing its job: no request burned on a backend
+	// that just failed repeatedly).
+	BreakerSkips uint64 `json:"breaker_skips"`
+	// Backoffs counts jittered waits slept between retry attempts.
+	Backoffs uint64 `json:"backoffs"`
 }
 
 // Scheduler is the multi-node suite frontend: it expands a suite into
@@ -98,13 +132,28 @@ type Scheduler struct {
 	cache      resultstore.Store // nil disables the scheduler-tier store
 	flight     singleflight.Group[outcome]
 
-	dispatched atomic.Uint64
-	retried    atomic.Uint64
-	coalesced  atomic.Uint64
-	cacheHits  atomic.Uint64
-	hedged     atomic.Uint64
-	hedgeWins  atomic.Uint64
-	ringSwaps  atomic.Uint64
+	// Resilience plumbing: the passive per-backend breaker (nil when
+	// disabled), the jittered retry backoff, and the passive membership
+	// feed.  sleep is injectable so backoff tests assert spacing under a
+	// stubbed clock.
+	brk            *breaker
+	retryBackoff   time.Duration
+	rngMu          sync.Mutex
+	rng            *rand.Rand
+	sleep          func(ctx context.Context, d time.Duration) error
+	backoffSeconds *obs.Histogram
+	reportDispatch func(node string, err error)
+	partial        bool
+
+	dispatched   atomic.Uint64
+	retried      atomic.Uint64
+	coalesced    atomic.Uint64
+	cacheHits    atomic.Uint64
+	hedged       atomic.Uint64
+	hedgeWins    atomic.Uint64
+	ringSwaps    atomic.Uint64
+	breakerSkips atomic.Uint64
+	backoffs     atomic.Uint64
 }
 
 // outcome is one single-flighted dispatch's result plus whether the
@@ -124,12 +173,20 @@ func New(eng *frontendsim.Engine, cfg Config) (*Scheduler, error) {
 		return nil, err
 	}
 	s := &Scheduler{
-		eng:        eng,
-		client:     NewClient(cfg.HTTPClient),
-		replicas:   cfg.Replicas,
-		retries:    cfg.Retries,
-		hedgeDelay: cfg.HedgeDelay,
-		cache:      cfg.Cache,
+		eng:            eng,
+		client:         NewClient(cfg.HTTPClient),
+		replicas:       cfg.Replicas,
+		retries:        cfg.Retries,
+		hedgeDelay:     cfg.HedgeDelay,
+		cache:          cfg.Cache,
+		retryBackoff:   cfg.RetryBackoff,
+		rng:            newJitterRNG(),
+		sleep:          sleepCtx,
+		reportDispatch: cfg.ReportDispatch,
+		partial:        cfg.PartialResults,
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	s.ring.Store(ring)
 	if cfg.Metrics != nil {
@@ -166,6 +223,22 @@ func (s *Scheduler) registerMetrics(reg *obs.Registry) {
 				emit([]string{t.Tier, "set"}, float64(t.Sets))
 				emit([]string{t.Tier, "error"}, float64(t.Errors))
 			}
+		})
+	h := reg.Histogram("sched_retry_backoff_seconds",
+		"Jittered backoff slept between ring-walk retry attempts.", nil)
+	s.backoffSeconds = &h
+	reg.Sampled("sched_breaker_transitions_total", "Circuit-breaker state transitions, by destination state.",
+		obs.TypeCounter, []string{"to"}, func(emit func([]string, float64)) {
+			if s.brk == nil {
+				return
+			}
+			emit([]string{"open"}, float64(s.brk.opened.Load()))
+			emit([]string{"half_open"}, float64(s.brk.halfOpen.Load()))
+			emit([]string{"closed"}, float64(s.brk.closed.Load()))
+		})
+	reg.Sampled("sched_breaker_skips_total", "Dispatch attempts diverted around an open circuit.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.breakerSkips.Load()))
 		})
 }
 
@@ -205,13 +278,15 @@ func (s *Scheduler) SetBackends(nodes []string) error {
 // Stats returns a snapshot of the cumulative dispatch counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
-		Dispatched: s.dispatched.Load(),
-		Retried:    s.retried.Load(),
-		Coalesced:  s.coalesced.Load(),
-		CacheHits:  s.cacheHits.Load(),
-		Hedged:     s.hedged.Load(),
-		HedgeWins:  s.hedgeWins.Load(),
-		RingSwaps:  s.ringSwaps.Load(),
+		Dispatched:   s.dispatched.Load(),
+		Retried:      s.retried.Load(),
+		Coalesced:    s.coalesced.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		Hedged:       s.hedged.Load(),
+		HedgeWins:    s.hedgeWins.Load(),
+		RingSwaps:    s.ringSwaps.Load(),
+		BreakerSkips: s.breakerSkips.Load(),
+		Backoffs:     s.backoffs.Load(),
 	}
 }
 
@@ -258,6 +333,10 @@ type Served struct {
 	Dispatched uint64 `json:"dispatched"`
 	// Coalesced shards joined an identical in-flight dispatch.
 	Coalesced uint64 `json:"coalesced"`
+	// Failed shards exhausted the ring and were recorded as per-shard
+	// errors (PartialResults mode only; without it a failed shard fails
+	// the whole suite instead).
+	Failed uint64 `json:"failed"`
 }
 
 // XCache is the frontend-tier X-Cache value of a suite response.  It
@@ -271,7 +350,14 @@ type Served struct {
 //	PARTIAL    a mix: some shards served locally (store or join), some
 //	           dispatched
 //	MISS       every shard was dispatched to the ring
+//
+// PARTIAL-ERROR overrides them all: some shards failed and the response
+// carries per-shard error entries (PartialResults mode) — a degraded
+// answer must never masquerade as a clean one.
 func (v Served) XCache() string {
+	if v.Failed > 0 {
+		return "PARTIAL-ERROR"
+	}
 	total := v.Cached + v.Dispatched + v.Coalesced
 	switch {
 	case total == 0:
@@ -311,9 +397,14 @@ func (s *Scheduler) RunSuiteServed(ctx context.Context, suite frontendsim.SuiteR
 // (HIT/COALESCED/MISS); sink calls are serialized.  The returned
 // SuiteResult is byte-identical (as JSON) to RunSuite of the same
 // suite.  A nil sink degrades to RunSuiteServed.
+// With Config.PartialResults, a shard whose ring walk exhausts every
+// backend is emitted as a ShardResult with Err set (the server renders
+// it as a {"type":"shard-error"} line), counted in Served.Failed, and
+// the suite completes with per-shard error entries — one dead shard no
+// longer fails an otherwise-servable sweep.
 func (s *Scheduler) RunSuiteStream(ctx context.Context, suite frontendsim.SuiteRequest, sink frontendsim.StreamSink) (*frontendsim.SuiteResult, Served, error) {
 	var cached, dispatched, coalesced atomic.Uint64
-	res, err := s.eng.RunSuiteStream(ctx, suite, func(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, string, error) {
+	dispatch := func(ctx context.Context, req frontendsim.Request) (*frontendsim.Result, string, error) {
 		r, src, err := s.DispatchSource(ctx, req)
 		if err != nil {
 			return nil, "", err
@@ -327,11 +418,25 @@ func (s *Scheduler) RunSuiteStream(ctx context.Context, suite frontendsim.SuiteR
 			dispatched.Add(1)
 		}
 		return r, src.String(), nil
-	}, sink)
+	}
+	var res *frontendsim.SuiteResult
+	var err error
+	if s.partial {
+		res, err = s.eng.RunSuitePartial(ctx, suite, dispatch, sink)
+	} else {
+		res, err = s.eng.RunSuiteStream(ctx, suite, dispatch, sink)
+	}
 	served := Served{
 		Cached:     cached.Load(),
 		Dispatched: dispatched.Load(),
 		Coalesced:  coalesced.Load(),
+	}
+	if res != nil {
+		// Count only the failures that made it into the degraded result:
+		// in strict mode a failure aborts the run (the error is the
+		// answer), and a cancelled partial run must not report
+		// PARTIAL-ERROR accounting for a response that never formed.
+		served.Failed = uint64(len(res.Errors))
 	}
 	return res, served, err
 }
@@ -459,8 +564,11 @@ func permanent(ctx context.Context, err error) bool {
 // dispatchKey walks the key's ring sequence: the home node first, then
 // up to retries failover nodes.  Request errors (4xx — every backend
 // would refuse) and the caller's own cancellation abort the walk
-// immediately.  With hedging enabled, a slow first attempt additionally
-// fires a speculative attempt to the next ring node (dispatchHedged).
+// immediately.  Nodes whose circuit breaker is open are skipped without
+// burning an attempt; retries after the first attempt wait out the
+// jittered backoff.  With hedging enabled, a slow first attempt
+// additionally fires a speculative attempt to the next ring node
+// (dispatchHedged).
 func (s *Scheduler) dispatchKey(ctx context.Context, key string, req frontendsim.Request) (*frontendsim.Result, error) {
 	s.dispatched.Add(1)
 	nodes := s.Ring().Sequence(key)
@@ -469,11 +577,20 @@ func (s *Scheduler) dispatchKey(ctx context.Context, key string, req frontendsim
 		return s.dispatchHedged(ctx, nodes[:attempts], req)
 	}
 	var lastErr error
+	tried := 0
 	for i := 0; i < attempts; i++ {
-		if i > 0 {
-			s.retried.Add(1)
+		if !s.allowNode(nodes[i]) {
+			continue
 		}
+		if tried > 0 {
+			s.retried.Add(1)
+			if err := s.backoff(ctx, tried); err != nil {
+				return nil, err
+			}
+		}
+		tried++
 		res, err := s.client.Simulate(ctx, nodes[i], req)
+		s.reportAttempt(ctx, nodes[i], err)
 		if err == nil {
 			return res, nil
 		}
@@ -485,7 +602,25 @@ func (s *Scheduler) dispatchKey(ctx context.Context, key string, req frontendsim
 		}
 		lastErr = err
 	}
-	return nil, &ExhaustedError{Benchmark: req.Benchmark, Attempts: attempts, Last: lastErr}
+	if tried == 0 && attempts > 0 {
+		// Every permitted node's circuit is open.  Refusing outright
+		// would make a fleet-wide blip self-sustaining (no requests, no
+		// probes, no recovery) — force one attempt at the home node; it
+		// doubles as a breaker probe.
+		res, err := s.client.Simulate(ctx, nodes[0], req)
+		s.reportAttempt(ctx, nodes[0], err)
+		if err == nil {
+			return res, nil
+		}
+		if permanent(ctx, err) {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
+		}
+		lastErr, tried = err, 1
+	}
+	return nil, &ExhaustedError{Benchmark: req.Benchmark, Attempts: tried, Last: lastErr}
 }
 
 // ExhaustedError reports that every permitted ring node failed to serve

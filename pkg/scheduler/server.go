@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync/atomic"
 
 	"repro/pkg/frontendsim"
 	"repro/pkg/membership"
@@ -44,6 +45,10 @@ type Server struct {
 	mux        *http.ServeMux
 	routeNames []string
 	maxBody    int64
+	// ready gates /healthz: SetReady(false) flips it to 503 so load
+	// balancers stop routing here while srv.Shutdown drains in-flight
+	// suites.
+	ready atomic.Bool
 }
 
 // DefaultMaxBodyBytes caps request bodies accepted by the scheduler
@@ -85,6 +90,7 @@ func WithMaxBodyBytes(n int64) ServerOption {
 // NewServer builds the HTTP frontend over sched.
 func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s := &Server{sched: sched, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
+	s.ready.Store(true)
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -96,6 +102,10 @@ func NewServer(sched *Scheduler, opts ...ServerOption) *Server {
 	s.handle("DELETE /v1/ring/members", s.handleLeave)
 	s.handle("GET /v1/cache/stats", s.handleCacheStats)
 	s.handle("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if !s.ready.Load() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("scheduler: draining"))
+			return
+		}
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
@@ -120,6 +130,18 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 
 // Routes returns the mounted route patterns (startup logging).
 func (s *Server) Routes() string { return strings.Join(s.routeNames, ", ") }
+
+// SetReady flips the /healthz verdict.  cmd/simsched calls
+// SetReady(false) when shutdown begins, so load balancers drain this
+// frontend before srv.Shutdown stops accepting connections — in-flight
+// suite runs (including open NDJSON streams) still complete.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// requestContext derives the handler context: the request's own,
+// bounded by the caller's X-Deadline-Budget when the hop carries one.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return frontendsim.ApplyDeadlineBudget(r.Context(), r.Header.Get(frontendsim.DeadlineBudgetHeader))
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +202,9 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Errorf("scheduler: decode suite request: %w", err))
 		return
 	}
-	res, served, err := s.sched.RunSuiteServed(r.Context(), suite)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	res, served, err := s.sched.RunSuiteServed(ctx, suite)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -224,7 +248,20 @@ func (s *Server) handleSuiteStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
-	res, _, err := s.sched.RunSuiteStream(r.Context(), suite, func(sh frontendsim.ShardResult) {
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	res, _, err := s.sched.RunSuiteStream(ctx, suite, func(sh frontendsim.ShardResult) {
+		if sh.Err != "" {
+			// A failed shard of a partial-results run: the stream keeps
+			// going and the terminal aggregate excludes this shard.
+			emit(frontendsim.SuiteStreamLine{
+				Type:      "shard-error",
+				Positions: sh.Positions,
+				Benchmark: sh.Benchmark,
+				Error:     sh.Err,
+			})
+			return
+		}
 		emit(frontendsim.SuiteStreamLine{
 			Type:      "shard",
 			Positions: sh.Positions,
@@ -246,7 +283,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, decodeStatus(err), fmt.Errorf("scheduler: decode request: %w", err))
 		return
 	}
-	res, source, err := s.sched.DispatchSource(r.Context(), req)
+	ctx, cancel := requestContext(r)
+	defer cancel()
+	res, source, err := s.sched.DispatchSource(ctx, req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
