@@ -5,12 +5,13 @@ GO ?= go
 # `staticcheck` is on PATH and skips with an install hint otherwise.
 STATICCHECK_VERSION ?= 2025.1.1
 
-.PHONY: check fmt vet staticcheck print-staticcheck-version build test race bench docs-check demo chaos
+.PHONY: check fmt vet staticcheck print-staticcheck-version build test race bench docs-check demo chaos fuzz-short cover-resultstore
 
 # The full tier-1 gate: formatting, vet, staticcheck, build, tests
 # (race-enabled — the scheduler/simd coalescing paths are explicitly
-# concurrent), docs.
-check: fmt vet staticcheck build race docs-check
+# concurrent), docs, a deterministic fuzz pass over segment replay, and
+# the result-store coverage floor.
+check: fmt vet staticcheck build race docs-check fuzz-short cover-resultstore
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -87,6 +88,26 @@ bench-full:
 # so CI runs it as an integration smoke test.
 demo:
 	$(GO) run ./examples/distributed
+
+# Deterministic fuzz smoke: 10 seconds of native fuzzing over disk
+# segment replay (differential against an independent reference
+# decoder).  Catches framing regressions in CI without the open-ended
+# runtime of a real fuzz campaign; run `go test -fuzz FuzzSegmentReplay
+# ./pkg/resultstore` with no -fuzztime to hunt for longer.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentReplay$$' -fuzztime $(FUZZTIME) ./pkg/resultstore
+
+# Coverage floor for the store package: every backend rides one
+# conformance suite, so coverage here is cheap to keep and expensive to
+# lose.  Writes coverage-resultstore.out for CI to upload.
+RESULTSTORE_COVER_MIN ?= 85
+cover-resultstore:
+	$(GO) test -coverprofile=coverage-resultstore.out ./pkg/resultstore/
+	@total=$$($(GO) tool cover -func=coverage-resultstore.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "pkg/resultstore coverage: $$total% (floor $(RESULTSTORE_COVER_MIN)%)"; \
+	awk "BEGIN{exit !($$total >= $(RESULTSTORE_COVER_MIN))}" || { \
+		echo "cover-resultstore: coverage $$total% is below the $(RESULTSTORE_COVER_MIN)% floor"; exit 1; }
 
 # Seeded chaos integration suite: a simd fleet behind fault-injecting
 # proxies (latency spikes, injected 500s, a flapping backend) driven

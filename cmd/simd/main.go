@@ -6,7 +6,9 @@
 // Usage:
 //
 //	simd [-addr :8723] [-cache 512] [-workers N] [-max-body-bytes N]
-//	     [-store memory|disk|tiered] [-store-dir DIR] [-store-max-bytes N]
+//	     [-store memory|disk|tiered|remote|tiered-remote] [-store-dir DIR]
+//	     [-store-max-bytes N] [-remote-servers HOST:PORT,...] [-remote-ttl D]
+//	     [-compact-threshold 0.5] [-compact-interval 30s]
 //	     [-max-queue 64] [-queue-wait 5s] [-partial-results]
 //	     [-announce SCHED_URL] [-self SELF_URL]
 //	     [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
@@ -31,10 +33,20 @@
 //
 // Store backends (-store):
 //
-//	memory  in-process LRU of -cache entries; dies with the process (default)
-//	disk    crash-safe segment files under -store-dir; survives restarts
-//	tiered  memory LRU in front of the disk store, write-through — the
-//	        hot set answers from RAM, everything survives a restart
+//	memory         in-process LRU of -cache entries; dies with the process (default)
+//	disk           crash-safe segment files under -store-dir; survives restarts
+//	tiered         memory LRU in front of the disk store, write-through — the
+//	               hot set answers from RAM, everything survives a restart
+//	remote         shared memcached tier at -remote-servers; replicas on
+//	               different machines serve each other's results
+//	tiered-remote  memory LRU in front of the remote tier — the production
+//	               fleet shape: hot set in RAM, shared tier across machines,
+//	               and an unreachable remote degrades to local serving
+//
+// Disk-backed stores run a background compactor (see -compact-threshold
+// / -compact-interval): sealed segments whose live-byte ratio falls
+// below the threshold are rewritten so overwrite-heavy workloads
+// reclaim space without waiting for whole-segment eviction.
 //
 // Endpoints:
 //
@@ -63,6 +75,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -74,34 +87,76 @@ import (
 	"repro/pkg/resultstore"
 )
 
-// buildStore assembles the response store selected by the flags.
-func buildStore(kind, dir string, maxBytes int64, cacheSize int) (resultstore.Store, error) {
-	switch kind {
+// storeFlags is the store-related flag set shared by buildStore.
+type storeFlags struct {
+	kind          string
+	dir           string
+	maxBytes      int64
+	cacheSize     int
+	remoteServers string
+	remoteTTL     time.Duration
+}
+
+// buildStore assembles the response store selected by the flags.  The
+// *Disk return is non-nil when a disk tier is part of the stack, so the
+// caller can hang the background compactor off it.
+func buildStore(f storeFlags) (resultstore.Store, *resultstore.Disk, error) {
+	switch f.kind {
 	case "memory":
-		return resultstore.NewMemory(cacheSize), nil
+		return resultstore.NewMemory(f.cacheSize), nil, nil
 	case "disk", "tiered":
-		if dir == "" {
-			return nil, fmt.Errorf("simd: -store=%s requires -store-dir", kind)
+		if f.dir == "" {
+			return nil, nil, fmt.Errorf("simd: -store=%s requires -store-dir", f.kind)
 		}
-		disk, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: dir, MaxBytes: maxBytes})
+		disk, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: f.dir, MaxBytes: f.maxBytes})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		if kind == "disk" {
-			return disk, nil
+		if f.kind == "disk" {
+			return disk, disk, nil
 		}
-		return resultstore.NewTiered(resultstore.NewMemory(cacheSize), disk), nil
+		return resultstore.NewTiered(resultstore.NewMemory(f.cacheSize), disk), disk, nil
+	case "remote", "tiered-remote":
+		if f.remoteServers == "" {
+			return nil, nil, fmt.Errorf("simd: -store=%s requires -remote-servers", f.kind)
+		}
+		remote, err := resultstore.NewRemote(resultstore.RemoteConfig{
+			Servers: splitServers(f.remoteServers),
+			TTL:     f.remoteTTL,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if f.kind == "remote" {
+			return remote, nil, nil
+		}
+		return resultstore.NewTiered(resultstore.NewMemory(f.cacheSize), remote), nil, nil
 	}
-	return nil, fmt.Errorf("simd: unknown -store %q (memory|disk|tiered)", kind)
+	return nil, nil, fmt.Errorf("simd: unknown -store %q (memory|disk|tiered|remote|tiered-remote)", f.kind)
+}
+
+// splitServers parses a comma-separated host:port list.
+func splitServers(s string) []string {
+	var out []string
+	for _, addr := range strings.Split(s, ",") {
+		if addr = strings.TrimSpace(addr); addr != "" {
+			out = append(out, addr)
+		}
+	}
+	return out
 }
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8723", "listen address")
 		cacheSize = flag.Int("cache", 512, "memory-tier response entries (0 disables the memory tier)")
-		storeKind = flag.String("store", "memory", "response store backend: memory|disk|tiered")
+		storeKind = flag.String("store", "memory", "response store backend: memory|disk|tiered|remote|tiered-remote")
 		storeDir  = flag.String("store-dir", "", "disk-store segment directory (required for -store=disk|tiered)")
 		storeMax  = flag.Int64("store-max-bytes", resultstore.DefaultMaxBytes, "disk-store total size cap in bytes")
+		remoteSrv = flag.String("remote-servers", "", "comma-separated memcached host:port list (required for -store=remote|tiered-remote)")
+		remoteTTL = flag.Duration("remote-ttl", 0, "expiry stored with remote-store writes (0 = no expiry)")
+		compactTh = flag.Float64("compact-threshold", resultstore.DefaultCompactThreshold, "rewrite a sealed disk segment when its live-byte ratio falls below this")
+		compactIv = flag.Duration("compact-interval", 30*time.Second, "disk-store compaction scan period (0 disables the compactor)")
 		workers   = flag.Int("workers", 0, "max concurrent simulations (default: GOMAXPROCS)")
 		maxBody   = flag.Int64("max-body-bytes", simd.DefaultMaxBodyBytes, "request-body size cap in bytes (oversized bodies get 413)")
 		maxQueue  = flag.Int("max-queue", 64, "max requests waiting for a simulation slot; excess is shed with 503 (0 = unbounded)")
@@ -121,14 +176,33 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *compactTh <= 0 || *compactTh > 1 {
+		fmt.Fprintf(os.Stderr, "simd: -compact-threshold %v out of range (0, 1]\n", *compactTh)
+		os.Exit(2)
+	}
+
 	pprofserve.Maybe("simd", *pprofAddr)
 
-	store, err := buildStore(*storeKind, *storeDir, *storeMax, *cacheSize)
+	store, disk, err := buildStore(storeFlags{
+		kind:          *storeKind,
+		dir:           *storeDir,
+		maxBytes:      *storeMax,
+		cacheSize:     *cacheSize,
+		remoteServers: *remoteSrv,
+		remoteTTL:     *remoteTTL,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	defer store.Close()
+	if disk != nil && *compactIv > 0 {
+		compactor := resultstore.StartCompactor(disk, resultstore.CompactorConfig{
+			Threshold: *compactTh,
+			Interval:  *compactIv,
+		})
+		defer compactor.Close()
+	}
 
 	eng := frontendsim.New(
 		frontendsim.WithWarmupOps(*warmup),

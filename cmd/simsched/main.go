@@ -26,7 +26,8 @@
 //
 //	simsched -backends http://sim-1:8723,http://sim-2:8723 [-addr :8724]
 //	         [-replicas 128] [-retries -1] [-cache 512] [-workers N]
-//	         [-max-body-bytes N]
+//	         [-store memory|remote|tiered-remote] [-remote-servers HOST:PORT,...]
+//	         [-remote-ttl D] [-max-body-bytes N]
 //	         [-timeout 10m] [-probe-interval 2s] [-probe-timeout 1s]
 //	         [-quarantine-threshold 3] [-evict-after 1m] [-hedge-delay 0]
 //	         [-retry-backoff 5ms] [-breaker-threshold 3] [-breaker-cooldown 5s]
@@ -75,6 +76,42 @@ import (
 	"repro/pkg/scheduler"
 )
 
+// buildStore assembles the scheduler-tier response cache.  A nil store
+// (memory kind with -cache 0) disables the tier entirely.
+func buildStore(kind string, cache int, remoteServers string, ttl time.Duration) (resultstore.Store, error) {
+	newRemote := func() (resultstore.Store, error) {
+		if remoteServers == "" {
+			return nil, fmt.Errorf("simsched: -store=%s requires -remote-servers", kind)
+		}
+		var servers []string
+		for _, addr := range strings.Split(remoteServers, ",") {
+			if addr = strings.TrimSpace(addr); addr != "" {
+				servers = append(servers, addr)
+			}
+		}
+		return resultstore.NewRemote(resultstore.RemoteConfig{Servers: servers, TTL: ttl})
+	}
+	switch kind {
+	case "memory":
+		if cache <= 0 {
+			return nil, nil
+		}
+		return resultstore.NewMemory(cache), nil
+	case "remote":
+		return newRemote()
+	case "tiered-remote":
+		remote, err := newRemote()
+		if err != nil {
+			return nil, err
+		}
+		if cache <= 0 {
+			return remote, nil
+		}
+		return resultstore.NewTiered(resultstore.NewMemory(cache), remote), nil
+	}
+	return nil, fmt.Errorf("simsched: unknown -store %q (memory|remote|tiered-remote)", kind)
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8724", "listen address")
@@ -82,6 +119,9 @@ func main() {
 		replicas  = flag.Int("replicas", 0, "virtual ring points per backend (0 = default)")
 		retries   = flag.Int("retries", 0, "failover nodes tried after the home backend (0 = all remaining, -1 = none)")
 		cache     = flag.Int("cache", 512, "scheduler-tier response cache entries (0 disables)")
+		storeKind = flag.String("store", "memory", "scheduler-tier response cache backend: memory|remote|tiered-remote")
+		remoteSrv = flag.String("remote-servers", "", "comma-separated memcached host:port list (required for -store=remote|tiered-remote)")
+		remoteTTL = flag.Duration("remote-ttl", 0, "expiry stored with remote-store writes (0 = no expiry)")
 		workers   = flag.Int("workers", 0, "max concurrent backend dispatches per suite (default: GOMAXPROCS)")
 		maxBody   = flag.Int64("max-body-bytes", scheduler.DefaultMaxBodyBytes, "request-body size cap in bytes (oversized bodies get 413)")
 		timeout   = flag.Duration("timeout", 10*time.Minute, "per-backend-request timeout")
@@ -120,11 +160,15 @@ func main() {
 		frontendsim.WithIntervalCycles(*interval),
 		frontendsim.WithWorkers(*workers),
 	)
-	var store resultstore.Store
-	if *cache > 0 {
-		store = resultstore.NewMemory(*cache)
+	store, err := buildStore(*storeKind, *cache, *remoteSrv, *remoteTTL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	metrics := obs.NewRegistry()
+	if store != nil {
+		resultstore.RegisterMetrics(metrics, store)
+	}
 	// members is assigned below, before the server starts accepting
 	// requests; the closure lets the scheduler feed dispatch verdicts
 	// back into the registry that will own the ring.

@@ -33,7 +33,14 @@
 //     scheduler rides through it with failovers and jittered backoff,
 //     the injected faults show up in the proxy's own stats endpoint,
 //     and deleting the rule returns the fleet to quiet — all without
-//     restarting anything.
+//     restarting anything, and
+//  7. the shared tier goes network-native: two machines' worth of
+//     replicas (separate engines, separate memory tiers — nothing
+//     in-process in common) share one memcached-protocol result store,
+//     so the second machine serves the first machine's suite with zero
+//     engine runs; and the disk tier's background compactor rewrites
+//     overwrite-heavy segments, reclaiming space while every live key
+//     keeps answering.
 package main
 
 import (
@@ -50,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/memcachetest"
 	"repro/internal/simd"
 	"repro/pkg/faultinject"
 	"repro/pkg/frontendsim"
@@ -576,5 +584,126 @@ func main() {
 		bytes.Equal(quietJSON, serialJSON), chaosSched.Stats().Retried-retriedBefore)
 	if !bytes.Equal(quietJSON, serialJSON) || chaosSched.Stats().Retried != retriedBefore {
 		fatal(fmt.Errorf("post-chaos suite not clean"))
+	}
+	fmt.Println()
+
+	// --- Act 7: the network-native shared tier. ---
+	// Until now "shared store" meant one in-process object.  Here the
+	// replicas share nothing but a cache server speaking the memcached
+	// text protocol (in production: `simd -store tiered-remote
+	// -remote-servers cache-1:11211,...`).  Machine 1 computes a suite
+	// and writes through; machine 2 — fresh engines, fresh memory tiers,
+	// a different "host" — serves the identical suite with zero engine
+	// runs: the paper's cross-cluster work sharing over a real wire
+	// protocol.
+	fmt.Println("Network-native shared store (-store tiered-remote), two machines:")
+	cacheSrv, err := memcachetest.New()
+	if err != nil {
+		fatal(err)
+	}
+	defer cacheSrv.Close()
+
+	machine := func(replicas int) ([]*httptest.Server, *resultstore.Remote) {
+		remote, err := resultstore.NewRemote(resultstore.RemoteConfig{
+			Servers: []string{cacheSrv.Addr()},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out := make([]*httptest.Server, replicas)
+		for i := range out {
+			store := resultstore.NewTiered(resultstore.NewMemory(64), remote)
+			out[i] = httptest.NewServer(simd.NewServerWithStore(frontendsim.New(backendOpts()...), store))
+		}
+		return out, remote
+	}
+
+	machine1, remote1 := machine(2)
+	defer func() {
+		for _, b := range machine1 {
+			b.Close()
+		}
+		remote1.Close()
+	}()
+	waitReady(urls(machine1))
+	sched7a, err := scheduler.New(eng, scheduler.Config{Backends: urls(machine1)})
+	if err != nil {
+		fatal(err)
+	}
+	before = engineRuns.Load()
+	warm, err := sched7a.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	warmJSON, _ := json.Marshal(warm)
+	fmt.Printf("  machine 1 computes the suite: %d engine runs, %d keys now on the cache server\n",
+		engineRuns.Load()-before, cacheSrv.Len())
+
+	machine2, remote2 := machine(2)
+	defer func() {
+		for _, b := range machine2 {
+			b.Close()
+		}
+		remote2.Close()
+	}()
+	waitReady(urls(machine2))
+	sched7b, err := scheduler.New(eng, scheduler.Config{Backends: urls(machine2)})
+	if err != nil {
+		fatal(err)
+	}
+	before = engineRuns.Load()
+	peer, err := sched7b.RunSuite(ctx, suite(2))
+	if err != nil {
+		fatal(err)
+	}
+	peerJSON, _ := json.Marshal(peer)
+	batches, keys := remote2.BatchStats()
+	fmt.Printf("  machine 2 serves it cold: byte-identical=%v, %d new engine runs, %d remote hits over %d multi-get batches (%d keys)\n",
+		bytes.Equal(peerJSON, warmJSON), engineRuns.Load()-before,
+		remote2.Stats()[0].Hits, batches, keys)
+	if engineRuns.Load()-before != 0 {
+		fatal(fmt.Errorf("machine 2 recomputed a peer's results"))
+	}
+	if !bytes.Equal(peerJSON, warmJSON) {
+		fatal(fmt.Errorf("machine 2's suite differs from machine 1's"))
+	}
+
+	// The disk tier's counterpart: the background compactor.  Hammer a
+	// small key set with overwrites until most sealed segments are dead
+	// weight, compact, and the store shrinks while every key still
+	// answers.
+	compactDir, err := os.MkdirTemp("", "resultstore-compact-demo-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(compactDir)
+	cdisk, err := resultstore.OpenDisk(resultstore.DiskConfig{Dir: compactDir, SegmentBytes: 8 << 10})
+	if err != nil {
+		fatal(err)
+	}
+	defer cdisk.Close()
+	payload := bytes.Repeat([]byte("t"), 512)
+	for round := 0; round < 64; round++ {
+		for _, key := range []string{"hot-a", "hot-b", "hot-c"} {
+			if err := cdisk.Set(ctx, key, payload); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	beforeBytes := cdisk.Stats()[0].Bytes
+	reclaimedTotal, err := cdisk.Compact(resultstore.DefaultCompactThreshold)
+	if err != nil {
+		fatal(err)
+	}
+	after := cdisk.Stats()[0]
+	fmt.Printf("  disk compaction after overwrite-heavy load: %d -> %d bytes on disk (%d reclaimed, %d segments rewritten)\n",
+		beforeBytes, after.Bytes, reclaimedTotal, after.Compactions)
+	for _, key := range []string{"hot-a", "hot-b", "hot-c"} {
+		if _, ok, err := cdisk.Get(ctx, key); err != nil || !ok {
+			fatal(fmt.Errorf("key %s lost to compaction: %v", key, err))
+		}
+	}
+	if reclaimedTotal <= 0 || after.Bytes >= beforeBytes {
+		fatal(fmt.Errorf("compaction reclaimed nothing (%d -> %d)", beforeBytes, after.Bytes))
 	}
 }

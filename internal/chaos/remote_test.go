@@ -1,0 +1,112 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/memcachetest"
+	"repro/internal/simd"
+	"repro/pkg/frontendsim"
+	"repro/pkg/obs"
+	"repro/pkg/resultstore"
+)
+
+// TestChaosDeadRemoteCacheDegrades kills the shared remote cache under
+// a tiered-remote simd and asserts the degradation contract: every
+// request keeps succeeding (warm keys from the memory tier, cold keys
+// from the engine), /healthz stays 200, no client ever sees an error —
+// and the failure is *visible*, not swallowed: the remote tier's error
+// counters move on /metrics while the requests stay clean.
+func TestChaosDeadRemoteCacheDegrades(t *testing.T) {
+	cache := memcachetest.Start(t)
+	remote, err := resultstore.NewRemote(resultstore.RemoteConfig{
+		Servers: []string{cache.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := resultstore.NewTiered(resultstore.NewMemory(16), remote)
+	t.Cleanup(func() { store.Close() })
+
+	reg := obs.NewRegistry()
+	api := simd.NewServerWithStore(frontendsim.New(engineOpts()...), store, simd.WithMetrics(reg))
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	post := func(bench string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/simulations", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"benchmark":%q}`, bench)))
+		if err != nil {
+			t.Fatalf("post %s: %v", bench, err)
+		}
+		return resp
+	}
+
+	// Warm one key while the cache lives: it lands in both tiers.
+	warm := post("gzip")
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status = %d", warm.StatusCode)
+	}
+	if n := cache.Counts().Sets; n != 1 {
+		t.Fatalf("remote cache saw %d sets during warm-up, want 1", n)
+	}
+
+	cache.Close() // the shared tier is now a corpse
+
+	// The warm key answers from the memory tier.
+	hit := post("gzip")
+	hit.Body.Close()
+	if hit.StatusCode != http.StatusOK || hit.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("warm key with dead cache: status %d, X-Cache %q, want 200 HIT",
+			hit.StatusCode, hit.Header.Get("X-Cache"))
+	}
+	// Cold keys compute: the dead back tier reads as a miss, never as a
+	// client-visible failure.
+	for _, bench := range frontendsim.Benchmarks()[1:4] {
+		resp := post(bench)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold %s with dead cache: status %d, want 200", bench, resp.StatusCode)
+		}
+	}
+	// Health stays green: a live front tier means degraded, not down.
+	health, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("healthz with dead remote cache = %d, want 200", health.StatusCode)
+	}
+
+	// The degradation is observable: remote get errors and memory-tier
+	// misses both moved.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(mresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	exposition := sb.String()
+	if n := metricSum(t, exposition, "store_remote_ops_total", `result="error"`); n < 1 {
+		t.Errorf(`store_remote_ops_total{result="error"} = %v, want >= 1`, n)
+	}
+	if n := metricSum(t, exposition, "simd_store_ops_total", `tier="memory",op="miss"`); n < 3 {
+		t.Errorf(`memory-tier misses = %v, want >= 3 (the cold keys)`, n)
+	}
+	if n := metricSum(t, exposition, "simd_store_ops_total", `tier="remote",op="error"`); n < 1 {
+		t.Errorf(`remote-tier errors on the store exposition = %v, want >= 1`, n)
+	}
+}

@@ -1,0 +1,341 @@
+// Package memcachetest is a small in-process memcached server speaking
+// the text protocol — just enough of it (get/gets multi-key reads, set
+// with flags and relative expiry, delete, flush_all, version, quit) for
+// resultstore.Remote's tests, the chaos suite and the distributed
+// example to run a "shared cache tier" without a memcached binary in
+// the container.
+//
+// The server is deliberately observable where a real memcached is not:
+// it counts every command, remembers the largest multi-get batch it has
+// seen (the client's batching tests pin on it), injects a fixed
+// per-command delay on demand (to hold a client worker busy while more
+// gets queue behind it), and takes its clock from an injectable now
+// func so TTL expiry is testable without sleeping.
+package memcachetest
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// entry is one stored value.
+type entry struct {
+	val       []byte
+	flags     uint32
+	expiresAt time.Time // zero = never expires
+}
+
+// Counts is a snapshot of the server's command counters.
+type Counts struct {
+	// Gets counts get/gets commands (each command once, however many
+	// keys it carried).
+	Gets uint64
+	// GetKeys counts the keys requested across all get commands.
+	GetKeys uint64
+	// Sets counts set commands.
+	Sets uint64
+	// MaxBatch is the largest number of keys seen on one get command.
+	MaxBatch int
+}
+
+// Server is the in-process memcached stand-in.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	data   map[string]entry
+	conns  map[net.Conn]struct{}
+	closed bool
+	now    func() time.Time
+
+	gets     atomic.Uint64
+	getKeys  atomic.Uint64
+	sets     atomic.Uint64
+	maxBatch atomic.Int64
+
+	// delay is a fixed pause injected before answering any command —
+	// nanoseconds, set through SetDelay.
+	delay atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New starts a server on a free localhost port.
+func New() (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("memcachetest: listen: %w", err)
+	}
+	s := &Server{
+		ln:    ln,
+		data:  map[string]entry{},
+		conns: map[net.Conn]struct{}{},
+		now:   time.Now,
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Start is New with test-scoped cleanup.
+func Start(t testing.TB) *Server {
+	t.Helper()
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// Addr returns the host:port the server listens on.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetNow replaces the server's clock — TTL expiry tests advance it
+// instead of sleeping.
+func (s *Server) SetNow(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// SetDelay injects a fixed pause before every command is answered.
+func (s *Server) SetDelay(d time.Duration) { s.delay.Store(int64(d)) }
+
+// Len returns the number of stored (possibly expired) keys.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Counts returns the command counters.
+func (s *Server) Counts() Counts {
+	return Counts{
+		Gets:     s.gets.Load(),
+		GetKeys:  s.getKeys.Load(),
+		Sets:     s.sets.Load(),
+		MaxBatch: int(s.maxBatch.Load()),
+	}
+}
+
+// Close stops the listener and severs every open connection, so a
+// "dead cache server" in a test fails clients immediately instead of
+// hanging them until a timeout.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// serve handles one connection until it closes or sends quit.
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		if d := s.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "get", "gets":
+			s.handleGet(w, fields[1:])
+		case "set":
+			if !s.handleSet(r, w, fields[1:]) {
+				return
+			}
+		case "delete":
+			s.handleDelete(w, fields[1:])
+		case "flush_all":
+			s.mu.Lock()
+			s.data = map[string]entry{}
+			s.mu.Unlock()
+			fmt.Fprint(w, "OK\r\n")
+		case "version":
+			fmt.Fprint(w, "VERSION memcachetest\r\n")
+		case "quit":
+			w.Flush()
+			return
+		default:
+			fmt.Fprint(w, "ERROR\r\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleGet(w *bufio.Writer, keys []string) {
+	s.gets.Add(1)
+	s.getKeys.Add(uint64(len(keys)))
+	for {
+		cur := s.maxBatch.Load()
+		if int64(len(keys)) <= cur || s.maxBatch.CompareAndSwap(cur, int64(len(keys))) {
+			break
+		}
+	}
+	s.mu.Lock()
+	now := s.now()
+	type hit struct {
+		key string
+		e   entry
+	}
+	var hits []hit
+	for _, key := range keys {
+		if e, ok := s.data[key]; ok {
+			if !e.expiresAt.IsZero() && !now.Before(e.expiresAt) {
+				delete(s.data, key) // lazy expiry, like the real thing
+				continue
+			}
+			hits = append(hits, hit{key, e})
+		}
+	}
+	s.mu.Unlock()
+	for _, h := range hits {
+		fmt.Fprintf(w, "VALUE %s %d %d\r\n", h.key, h.e.flags, len(h.e.val))
+		w.Write(h.e.val)
+		fmt.Fprint(w, "\r\n")
+	}
+	fmt.Fprint(w, "END\r\n")
+}
+
+// handleSet parses `set <key> <flags> <exptime> <bytes> [noreply]` plus
+// its data block.  It returns false when the connection is beyond
+// recovery (a short or unterminated data block).
+func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args []string) bool {
+	if len(args) < 4 || len(args) > 5 {
+		fmt.Fprint(w, "ERROR\r\n")
+		return true
+	}
+	key := args[0]
+	flags, err1 := strconv.ParseUint(args[1], 10, 32)
+	exptime, err2 := strconv.ParseInt(args[2], 10, 64)
+	size, err3 := strconv.ParseInt(args[3], 10, 32)
+	noreply := len(args) == 5 && args[4] == "noreply"
+	if err1 != nil || err2 != nil || err3 != nil || size < 0 {
+		// Without a parseable size the data block can't be skipped; the
+		// stream is beyond recovery.
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return true
+	}
+	block := make([]byte, size+2) // data + trailing \r\n
+	if _, err := io.ReadFull(r, block); err != nil {
+		return false
+	}
+	if !validKey(key) {
+		// The block is consumed either way, keeping the stream in sync.
+		fmt.Fprint(w, "CLIENT_ERROR bad command line format\r\n")
+		return true
+	}
+	if block[size] != '\r' || block[size+1] != '\n' {
+		fmt.Fprint(w, "CLIENT_ERROR bad data chunk\r\n")
+		return true
+	}
+	s.sets.Add(1)
+	var expiresAt time.Time
+	s.mu.Lock()
+	if exptime > 0 {
+		// Relative seconds; the real protocol switches to absolute unix
+		// time past 30 days, which no test here needs.
+		expiresAt = s.now().Add(time.Duration(exptime) * time.Second)
+	}
+	s.data[key] = entry{val: block[:size:size], flags: uint32(flags), expiresAt: expiresAt}
+	s.mu.Unlock()
+	if !noreply {
+		fmt.Fprint(w, "STORED\r\n")
+	}
+	return true
+}
+
+func (s *Server) handleDelete(w *bufio.Writer, args []string) {
+	if len(args) < 1 {
+		fmt.Fprint(w, "ERROR\r\n")
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.data[args[0]]
+	delete(s.data, args[0])
+	s.mu.Unlock()
+	if ok {
+		fmt.Fprint(w, "DELETED\r\n")
+	} else {
+		fmt.Fprint(w, "NOT_FOUND\r\n")
+	}
+}
+
+// validKey applies the protocol's key rules: 1..250 bytes, no
+// whitespace or control characters.
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > 250 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] <= ' ' || key[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// readLine reads one \r\n-terminated line (tolerating bare \n).
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

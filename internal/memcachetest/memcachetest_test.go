@@ -1,0 +1,113 @@
+package memcachetest
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// dial returns a raw protocol connection plus a line-oriented reader.
+func dial(t *testing.T, s *Server) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewReader(conn)
+}
+
+func line(t *testing.T, r *bufio.Reader) string {
+	t.Helper()
+	l, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimRight(l, "\r\n")
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	s := Start(t)
+	conn, r := dial(t, s)
+
+	fmt.Fprint(conn, "set greeting 7 0 5\r\nhello\r\n")
+	if got := line(t, r); got != "STORED" {
+		t.Fatalf("set answered %q", got)
+	}
+	fmt.Fprint(conn, "get greeting missing\r\n")
+	if got := line(t, r); got != "VALUE greeting 7 5" {
+		t.Fatalf("get header %q", got)
+	}
+	if got := line(t, r); got != "hello" {
+		t.Fatalf("get data %q", got)
+	}
+	if got := line(t, r); got != "END" {
+		t.Fatalf("get trailer %q", got)
+	}
+
+	fmt.Fprint(conn, "delete greeting\r\n")
+	if got := line(t, r); got != "DELETED" {
+		t.Fatalf("delete answered %q", got)
+	}
+	fmt.Fprint(conn, "delete greeting\r\n")
+	if got := line(t, r); got != "NOT_FOUND" {
+		t.Fatalf("second delete answered %q", got)
+	}
+
+	c := s.Counts()
+	if c.Sets != 1 || c.Gets != 1 || c.GetKeys != 2 || c.MaxBatch != 2 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestProtocolExpiry(t *testing.T) {
+	s := Start(t)
+	base := time.Unix(1_700_000_000, 0)
+	now := base
+	s.SetNow(func() time.Time { return now })
+	conn, r := dial(t, s)
+
+	fmt.Fprint(conn, "set k 0 30 1\r\nx\r\n")
+	if got := line(t, r); got != "STORED" {
+		t.Fatalf("set answered %q", got)
+	}
+	fmt.Fprint(conn, "get k\r\n")
+	if got := line(t, r); got != "VALUE k 0 1" {
+		t.Fatalf("get before expiry %q", got)
+	}
+	line(t, r) // data
+	line(t, r) // END
+
+	now = base.Add(31 * time.Second)
+	fmt.Fprint(conn, "get k\r\n")
+	if got := line(t, r); got != "END" {
+		t.Fatalf("expired get answered %q", got)
+	}
+	if s.Len() != 0 {
+		t.Errorf("expired key not lazily dropped: %d entries", s.Len())
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := Start(t)
+	conn, r := dial(t, s)
+
+	fmt.Fprint(conn, "bogus\r\n")
+	if got := line(t, r); got != "ERROR" {
+		t.Fatalf("unknown command answered %q", got)
+	}
+	// Key with an interior control byte is rejected before the data
+	// block is trusted.
+	fmt.Fprint(conn, "set bad\x01key 0 0 1\r\nx\r\n")
+	if got := line(t, r); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("bad key answered %q", got)
+	}
+	// A data block not terminated by \r\n poisons the stream.
+	fmt.Fprint(conn, "set k 0 0 1\r\nxZZ")
+	if got := line(t, r); !strings.HasPrefix(got, "CLIENT_ERROR") {
+		t.Fatalf("bad data chunk answered %q", got)
+	}
+}

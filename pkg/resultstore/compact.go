@@ -1,0 +1,200 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Compaction for the disk store.  Records are never rewritten in place,
+// so an overwrite-heavy workload fills sealed segments with dead
+// records that only whole-segment eviction would reclaim — and eviction
+// is strictly oldest-first, so a mostly-dead middle segment can pin
+// disk space indefinitely.  The compactor (modeled on Thanos-style
+// background compaction) finds sealed segments whose live-record ratio
+// fell below a threshold, copies just their live records through the
+// regular append path into the active segment, then deletes the victim
+// file.
+//
+// Crash safety falls out of the replay ordering: the copies land in the
+// active segment, which has a higher sequence number than any victim,
+// so replay always sees the copy after the original and newest-record
+// wins.  A crash anywhere mid-compaction therefore leaves either the
+// victim, or the victim plus some duplicate copies — both replay to the
+// same index.
+
+// DefaultCompactThreshold is the live-ratio below which a sealed
+// segment is worth rewriting.
+const DefaultCompactThreshold = 0.5
+
+// CompactOnce rewrites the sealed segment with the lowest live-byte
+// ratio strictly below threshold (0 < threshold <= 1), returning the
+// net bytes reclaimed and whether any segment was compacted.  The
+// active segment is never compacted.  Compaction holds the append lock
+// end to end — Sets wait, Gets do not.
+func (d *Disk) CompactOnce(threshold float64) (int64, bool, error) {
+	if threshold <= 0 || threshold > 1 {
+		return 0, false, fmt.Errorf("resultstore: compact threshold %v out of (0,1]", threshold)
+	}
+	d.appendMu.Lock()
+	defer d.appendMu.Unlock()
+
+	d.mu.RLock()
+	if d.closed {
+		d.mu.RUnlock()
+		return 0, false, errClosed
+	}
+	var victim *segment
+	for _, seg := range d.segs[:len(d.segs)-1] {
+		if seg.size == 0 {
+			continue
+		}
+		ratio := float64(seg.live) / float64(seg.size)
+		if ratio >= threshold {
+			continue
+		}
+		if victim == nil || ratio < float64(victim.live)/float64(victim.size) {
+			victim = seg
+		}
+	}
+	// Snapshot the live records while still under the read lock: with
+	// appendMu held nothing else can rewrite or evict, but the index
+	// map itself needs the lock.
+	type liveRec struct {
+		key string
+		loc diskLoc
+	}
+	var lives []liveRec
+	if victim != nil {
+		seen := make(map[string]struct{}, len(victim.keys))
+		for _, key := range victim.keys {
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			if loc, ok := d.index[key]; ok && loc.seg == victim {
+				lives = append(lives, liveRec{key, loc})
+			}
+		}
+	}
+	d.mu.RUnlock()
+	if victim == nil {
+		return 0, false, nil
+	}
+
+	// Copy each live record through the append path.  appendRecord with
+	// userSet=false skips the Sets counter and cap enforcement (the
+	// store is about to shrink, not grow).
+	var copied int64
+	for _, lr := range lives {
+		val := make([]byte, lr.loc.valLen)
+		if _, err := lr.loc.seg.f.ReadAt(val, lr.loc.valOff); err != nil {
+			d.errs.Add(1)
+			return 0, false, fmt.Errorf("resultstore: compact read %s: %w", victim.path, err)
+		}
+		if err := d.appendRecord(lr.key, val, false); err != nil {
+			return 0, false, err
+		}
+		copied += recordSize(len(lr.key), len(val))
+	}
+
+	// Every live record now has a newer copy; drop the victim.  Eviction
+	// of stale index entries mirrors enforceCap, but after the copies
+	// above no index entry can still point into the victim.
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, false, errClosed
+	}
+	for i, seg := range d.segs {
+		if seg == victim {
+			d.segs = append(d.segs[:i:i], d.segs[i+1:]...)
+			break
+		}
+	}
+	d.total -= victim.size
+	d.mu.Unlock()
+	victim.f.Close()
+	if err := os.Remove(victim.path); err != nil {
+		d.errs.Add(1)
+		return 0, false, fmt.Errorf("resultstore: compact remove %s: %w", victim.path, err)
+	}
+
+	reclaimed := victim.size - copied
+	if reclaimed < 0 {
+		reclaimed = 0
+	}
+	d.compactions.Add(1)
+	d.reclaimed.Add(uint64(reclaimed))
+	return reclaimed, true, nil
+}
+
+// Compact repeatedly runs CompactOnce until no sealed segment is below
+// threshold, returning the total bytes reclaimed.
+func (d *Disk) Compact(threshold float64) (int64, error) {
+	var total int64
+	for {
+		n, did, err := d.CompactOnce(threshold)
+		total += n
+		if err != nil || !did {
+			return total, err
+		}
+	}
+}
+
+// CompactorConfig configures the background compactor.
+type CompactorConfig struct {
+	// Threshold is the live-ratio below which a sealed segment is
+	// rewritten (0 selects DefaultCompactThreshold).
+	Threshold float64
+	// Interval is the scan period (0 selects 30s).
+	Interval time.Duration
+}
+
+// Compactor periodically compacts a Disk store until closed.
+type Compactor struct {
+	d    *Disk
+	cfg  CompactorConfig
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+// StartCompactor launches a background goroutine that runs Compact
+// every Interval.  Close the compactor before closing the store.
+func StartCompactor(d *Disk, cfg CompactorConfig) *Compactor {
+	if cfg.Threshold <= 0 || cfg.Threshold > 1 {
+		cfg.Threshold = DefaultCompactThreshold
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	c := &Compactor{d: d, cfg: cfg, stop: make(chan struct{})}
+	c.wg.Add(1)
+	go c.loop()
+	return c
+}
+
+func (c *Compactor) loop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			// A closed store just returns errClosed; keep ticking until
+			// the owner closes us.
+			c.d.Compact(c.cfg.Threshold)
+		}
+	}
+}
+
+// Close stops the background loop and waits for an in-flight pass.
+func (c *Compactor) Close() error {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	return nil
+}

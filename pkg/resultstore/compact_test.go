@@ -1,0 +1,153 @@
+package resultstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCompactReclaimsOverwrittenSpace is the core compaction promise:
+// an overwrite-heavy workload leaves sealed segments mostly dead, one
+// CompactOnce rewrites the worst of them, the on-disk footprint
+// shrinks, and every live key still round-trips byte-identical — even
+// across a kill-and-reopen.
+func TestCompactReclaimsOverwrittenSpace(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, DiskConfig{SegmentBytes: 4 << 10})
+
+	// Hammer a small key set with ever-changing values, sealing several
+	// segments whose records are almost all superseded.
+	val := func(key string, round int) string {
+		return fmt.Sprintf("%s-round-%03d-%s", key, round, strings.Repeat("v", 200))
+	}
+	keys := []string{"a", "b", "c", "d"}
+	const rounds = 40
+	for round := 0; round < rounds; round++ {
+		for _, key := range keys {
+			mustSet(t, d, key, val(key, round))
+		}
+	}
+	before := d.Stats()[0].Bytes
+	segsBefore := len(segments(t, dir))
+	if segsBefore < 3 {
+		t.Fatalf("workload too small to seal segments: %d", segsBefore)
+	}
+
+	reclaimed, did, err := d.CompactOnce(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did || reclaimed <= 0 {
+		t.Fatalf("CompactOnce = %d, %v; want a rewrite with reclaimed bytes", reclaimed, did)
+	}
+	after := d.Stats()[0]
+	if after.Bytes >= before {
+		t.Errorf("compaction grew the store: %d -> %d bytes", before, after.Bytes)
+	}
+	if after.Compactions != 1 || after.ReclaimedBytes != reclaimed {
+		t.Errorf("stats = %+v, want Compactions=1 ReclaimedBytes=%d", after, reclaimed)
+	}
+	for _, key := range keys {
+		if v, ok := mustGet(t, d, key); !ok || string(v) != val(key, rounds-1) {
+			t.Errorf("%s after compaction = %q %v", key, v, ok)
+		}
+	}
+
+	// Kill-and-reopen: the compacted directory replays to the same
+	// contents.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2 := openDisk(t, dir, DiskConfig{SegmentBytes: 4 << 10})
+	for _, key := range keys {
+		if v, ok := mustGet(t, d2, key); !ok || string(v) != val(key, rounds-1) {
+			t.Errorf("%s after reopen = %q %v", key, v, ok)
+		}
+	}
+	if got := d2.Stats()[0]; got.Entries != len(keys) {
+		t.Errorf("entries after reopen = %d, want %d", got.Entries, len(keys))
+	}
+}
+
+// TestCompactUntilClean drives Compact to a fixed point: no sealed
+// segment below the threshold remains, and further passes are no-ops.
+func TestCompactUntilClean(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, DiskConfig{SegmentBytes: 2 << 10})
+	for round := 0; round < 30; round++ {
+		for _, key := range []string{"x", "y"} {
+			mustSet(t, d, key, fmt.Sprintf("%s-%d-%s", key, round, strings.Repeat("p", 150)))
+		}
+	}
+	total, err := d.Compact(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatal("Compact reclaimed nothing over an overwrite-heavy history")
+	}
+	again, did, err := d.CompactOnce(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did || again != 0 {
+		t.Errorf("second Compact pass still found work: %d, %v", again, did)
+	}
+}
+
+// TestCompactSkipsActiveAndLiveSegments: a store whose sealed segments
+// are fully live has nothing to compact.
+func TestCompactSkipsActiveAndLiveSegments(t *testing.T) {
+	d := openDisk(t, t.TempDir(), DiskConfig{SegmentBytes: 1 << 10})
+	for i := 0; i < 40; i++ {
+		mustSet(t, d, fmt.Sprintf("key-%d", i), strings.Repeat("q", 100))
+	}
+	if len(segments(t, d.cfg.Dir)) < 2 {
+		t.Fatal("expected several segments")
+	}
+	reclaimed, did, err := d.CompactOnce(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if did || reclaimed != 0 {
+		t.Errorf("compacted a fully-live store: %d, %v", reclaimed, did)
+	}
+}
+
+func TestCompactorBackground(t *testing.T) {
+	dir := t.TempDir()
+	d := openDisk(t, dir, DiskConfig{SegmentBytes: 2 << 10})
+	for round := 0; round < 30; round++ {
+		mustSet(t, d, "hot", fmt.Sprintf("%d-%s", round, strings.Repeat("h", 180)))
+	}
+	c := StartCompactor(d, CompactorConfig{Threshold: 0.5, Interval: 5 * time.Millisecond})
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.Stats()[0].Compactions > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := d.Stats()[0]; st.Compactions == 0 || st.ReclaimedBytes == 0 {
+		t.Fatalf("background compactor never ran: %+v", st)
+	}
+	if v, ok := mustGet(t, d, "hot"); !ok || !strings.HasPrefix(string(v), "29-") {
+		t.Errorf("hot after background compaction = %q %v", v, ok)
+	}
+	// Closing the compactor then the store must not race or deadlock.
+	c.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactBadThreshold(t *testing.T) {
+	d := openDisk(t, t.TempDir(), DiskConfig{})
+	for _, th := range []float64{0, -1, 1.5} {
+		if _, _, err := d.CompactOnce(th); err == nil {
+			t.Errorf("CompactOnce(%v) accepted", th)
+		}
+	}
+}

@@ -67,6 +67,10 @@ type segment struct {
 	path string
 	f    *os.File
 	size int64
+	// live is the bytes of records in this segment that the index still
+	// points at; size-live is dead weight (overwritten records, corrupt
+	// tails) the compactor can reclaim.
+	live int64
 	// keys lists every key with a record in this segment (duplicates
 	// possible after rewrites), so eviction drops exactly its own index
 	// entries without scanning the whole index.
@@ -101,6 +105,11 @@ type Disk struct {
 	misses atomic.Uint64
 	sets   atomic.Uint64
 	errs   atomic.Uint64
+
+	// compactions / reclaimed count segments rewritten by the compactor
+	// and the net bytes it freed (see compact.go).
+	compactions atomic.Uint64
+	reclaimed   atomic.Uint64
 }
 
 var errClosed = errors.New("resultstore: store is closed")
@@ -223,12 +232,18 @@ func (d *Disk) replay(path string, seq uint64, last bool) error {
 			break // torn or corrupt record
 		}
 		key := string(payload[:keyLen])
+		if old, ok := d.index[key]; ok {
+			// This record supersedes an earlier one: the older record is
+			// dead weight in its segment.
+			old.seg.live -= recordSize(len(key), int(old.valLen))
+		}
 		d.index[key] = diskLoc{
 			seg:    seg,
 			valOff: off + recHeaderLen + int64(keyLen),
 			valLen: valLen,
 		}
 		seg.keys = append(seg.keys, key)
+		seg.live += recHeaderLen + bodyLen
 		off += recHeaderLen + bodyLen
 	}
 	if off < size && last {
@@ -263,6 +278,11 @@ func (d *Disk) newSegment(seq uint64) (*segment, error) {
 	return seg, nil
 }
 
+// recordSize is the on-disk footprint of one record.
+func recordSize(keyLen, valLen int) int64 {
+	return recHeaderLen + int64(keyLen) + int64(valLen) + recTrailerLen
+}
+
 // Set appends one record to the active segment, rotating and evicting
 // as the size caps require.
 func (d *Disk) Set(_ context.Context, key string, val []byte) error {
@@ -272,16 +292,24 @@ func (d *Disk) Set(_ context.Context, key string, val []byte) error {
 	if len(val) > maxValLen {
 		return fmt.Errorf("resultstore: value length %d exceeds %d", len(val), maxValLen)
 	}
-	rec := make([]byte, recHeaderLen+len(key)+len(val)+recTrailerLen)
+	d.appendMu.Lock()
+	defer d.appendMu.Unlock()
+	return d.appendRecord(key, val, true)
+}
+
+// appendRecord appends one framed record and installs it in the index.
+// The caller holds appendMu.  userSet distinguishes a caller's Set
+// (counted, cap-enforced) from a compaction rewrite (neither: the
+// compactor settles the byte accounting itself once the victim segment
+// is gone).
+func (d *Disk) appendRecord(key string, val []byte, userSet bool) error {
+	rec := make([]byte, recordSize(len(key), len(val)))
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
 	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(val)))
 	copy(rec[recHeaderLen:], key)
 	copy(rec[recHeaderLen+len(key):], val)
 	crc := crc32.ChecksumIEEE(rec[recHeaderLen : recHeaderLen+len(key)+len(val)])
 	binary.LittleEndian.PutUint32(rec[len(rec)-recTrailerLen:], crc)
-
-	d.appendMu.Lock()
-	defer d.appendMu.Unlock()
 
 	// Pick (rotating if needed) the active segment and the append
 	// offset under the lock; the committed size only advances after a
@@ -318,7 +346,12 @@ func (d *Disk) Set(_ context.Context, key string, val []byte) error {
 	if d.closed {
 		return errClosed
 	}
+	if old, ok := d.index[key]; ok {
+		// The overwritten record becomes dead weight in its segment.
+		old.seg.live -= recordSize(len(key), int(old.valLen))
+	}
 	active.size = off + int64(len(rec))
+	active.live += int64(len(rec))
 	d.total += int64(len(rec))
 	d.index[key] = diskLoc{
 		seg:    active,
@@ -326,8 +359,10 @@ func (d *Disk) Set(_ context.Context, key string, val []byte) error {
 		valLen: uint32(len(val)),
 	}
 	active.keys = append(active.keys, key)
-	d.sets.Add(1)
-	d.enforceCap()
+	if userSet {
+		d.sets.Add(1)
+		d.enforceCap()
+	}
 	return nil
 }
 
@@ -411,13 +446,15 @@ func (d *Disk) Stats() []TierStats {
 	entries, bytes := len(d.index), d.total
 	d.mu.RUnlock()
 	return []TierStats{{
-		Tier:    "disk",
-		Entries: entries,
-		Bytes:   bytes,
-		Hits:    d.hits.Load(),
-		Misses:  d.misses.Load(),
-		Sets:    d.sets.Load(),
-		Errors:  d.errs.Load(),
+		Tier:           "disk",
+		Entries:        entries,
+		Bytes:          bytes,
+		Hits:           d.hits.Load(),
+		Misses:         d.misses.Load(),
+		Sets:           d.sets.Load(),
+		Errors:         d.errs.Load(),
+		Compactions:    d.compactions.Load(),
+		ReclaimedBytes: int64(d.reclaimed.Load()),
 	}}
 }
 
@@ -443,6 +480,11 @@ func (d *Disk) Close() error {
 			errs = append(errs, err)
 		}
 	}
+	// Uniform Stats semantics across backends: Entries/Bytes describe
+	// what the open store can serve, which after Close is nothing.  (Op
+	// counters stay — they are process-lifetime.)
+	d.index = map[string]diskLoc{}
+	d.total = 0
 	if d.lock != nil {
 		// Closing the fd releases the flock.
 		if err := d.lock.Close(); err != nil {

@@ -15,6 +15,14 @@ type Store interface {
 	Set(ctx context.Context, key string, val []byte) error
 	// Stats returns cumulative per-tier counters, front tier first.
 	// Single-tier stores return one element.
+	//
+	// Semantics are uniform across backends: the op counters (Hits,
+	// Misses, Sets, Errors, Compactions) are process-lifetime — they
+	// start at zero when the store is opened, including a Disk store
+	// reopened over existing segments — while Entries and Bytes always
+	// describe what the open store can serve right now (so both are
+	// zero after Close, and a reopened Disk store reports the replayed
+	// entries).  The conformance suite pins this for every backend.
 	Stats() []TierStats
 	// Close releases the store's resources.  Get and Set fail after
 	// Close.
@@ -53,6 +61,11 @@ type TierStats struct {
 	Sets uint64 `json:"sets"`
 	// Errors counts failed reads and writes.
 	Errors uint64 `json:"errors,omitempty"`
+	// Compactions counts segment rewrites by the disk compactor (0 for
+	// tiers without one).
+	Compactions uint64 `json:"compactions,omitempty"`
+	// ReclaimedBytes is the net disk space freed by compaction.
+	ReclaimedBytes int64 `json:"reclaimed_bytes,omitempty"`
 }
 
 // Totals folds per-tier stats into the store-level counters reported at

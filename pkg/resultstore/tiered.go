@@ -39,12 +39,20 @@ func (t *Tiered) Get(ctx context.Context, key string) ([]byte, bool, error) {
 }
 
 // Peek reads through both tiers without counting or promoting.  As in
-// Get, a front-tier failure falls through to the back tier.
+// Get, a front-tier failure falls through to the back tier.  A Peek
+// error surfaces only when *every* tier errored: health probes use Peek,
+// and a tiered store with a live front and a dead back (say, an
+// unreachable remote cache) is degraded, not down — it still serves.
 func (t *Tiered) Peek(ctx context.Context, key string) ([]byte, bool, error) {
-	if val, ok, err := Peek(ctx, t.front, key); err == nil && ok {
-		return val, true, nil
+	frontVal, frontOK, frontErr := Peek(ctx, t.front, key)
+	if frontErr == nil && frontOK {
+		return frontVal, true, nil
 	}
-	return Peek(ctx, t.back, key)
+	val, ok, err := Peek(ctx, t.back, key)
+	if err != nil && frontErr == nil {
+		return nil, false, nil // degraded to the healthy front tier
+	}
+	return val, ok, err
 }
 
 // Set writes through to both tiers.  The write succeeds if either tier
