@@ -11,6 +11,8 @@
 //	     [-compact-threshold 0.5] [-compact-interval 30s]
 //	     [-max-queue 64] [-queue-wait 5s] [-partial-results]
 //	     [-announce SCHED_URL] [-self SELF_URL]
+//	     [-warmup-peer URL,...] [-warmup-timeout 2m] [-warmup-concurrency 8]
+//	     [-antientropy-interval D]
 //	     [-warmup N] [-measure N] [-interval N] [-pprof ADDR]
 //
 // Admission control: at most -workers simulations run concurrently; up
@@ -30,6 +32,23 @@
 // API on startup (retrying until the scheduler answers) and departs on
 // graceful shutdown — a restarted backend rejoins the ring by itself,
 // even after the scheduler evicted it.
+//
+// With -warmup-peer, a joining replica pulls its ring slice of stored
+// results from a live peer's store plane (GET /v1/store/keys +
+// /v1/store/entries/{key}) before reporting ready: /healthz answers 503
+// and the ring announcement waits until the warm-up completes, so the
+// scheduler never routes to a cold replica.  The slice is computed from
+// the scheduler's current ring (-announce) plus this replica; without
+// -announce every peer key is pulled.  A warm-up that exhausts
+// -warmup-timeout logs the shortfall and serves cold rather than never
+// joining.
+//
+// With -antientropy-interval > 0, a background repair loop periodically
+// exchanges per-bucket key-set digests with a ring neighbor and pulls
+// entries this replica is missing — divergence from missed writes heals
+// in the background instead of surfacing as recomputation.  Peers come
+// from the scheduler ring (-announce) or, without one, the static
+// -warmup-peer list.
 //
 // Store backends (-store):
 //
@@ -167,12 +186,20 @@ func main() {
 		interval  = flag.Uint64("interval", 0, "default interval cycles (0 = paper default)")
 		announce  = flag.String("announce", "", "scheduler base URL to join on startup and depart on shutdown (empty disables)")
 		self      = flag.String("self", "", "advertised base URL of this backend (required with -announce)")
+		warmPeers = flag.String("warmup-peer", "", "comma-separated peer simd base URLs to pull this replica's ring slice from before reporting ready (empty disables)")
+		warmTO    = flag.Duration("warmup-timeout", 2*time.Minute, "join-time warm-up deadline; on expiry the replica logs the shortfall and serves cold")
+		warmConc  = flag.Int("warmup-concurrency", 8, "concurrent entry pulls during join-time warm-up")
+		aeIvl     = flag.Duration("antientropy-interval", 0, "background digest-exchange repair period (0 disables; needs -self plus -announce or -warmup-peer)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty disables)")
 	)
 	flag.Parse()
 
 	if *announce != "" && *self == "" {
 		fmt.Fprintln(os.Stderr, "simd: -announce requires -self (the URL the scheduler should route to)")
+		os.Exit(2)
+	}
+	if *aeIvl > 0 && (*self == "" || (*announce == "" && *warmPeers == "")) {
+		fmt.Fprintln(os.Stderr, "simd: -antientropy-interval requires -self plus -announce or -warmup-peer")
 		os.Exit(2)
 	}
 
@@ -246,25 +273,89 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	if *announce != "" {
+	// Startup sequencing: warm the store from peers first (the replica
+	// answers /healthz 503 the whole time, so probes keep it out of
+	// rotation), then flip ready, then announce — the scheduler never
+	// sees a joined-but-cold replica.
+	announceLoop := func() {
 		// Register with the scheduler once it answers; a restarted
 		// backend rejoins the ring this way even after eviction.
+		for {
+			annCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			err := membership.Announce(annCtx, nil, *announce, *self)
+			cancel()
+			if err == nil {
+				fmt.Fprintf(os.Stderr, "simd: joined ring at %s as %s\n", *announce, *self)
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}
+	peerList := splitServers(*warmPeers)
+	for i, p := range peerList {
+		peerList[i] = strings.TrimRight(p, "/")
+	}
+	var antiEntropy *simd.AntiEntropy
+	if *aeIvl > 0 {
+		// Prefer live ring discovery; fall back to the static peer list
+		// when no scheduler is announced.
+		aePeers := []string(nil)
+		if *announce == "" {
+			aePeers = peerList
+		}
+		antiEntropy, err = api.NewAntiEntropy(simd.AntiEntropyConfig{
+			SelfURL:  *self,
+			RingURL:  *announce,
+			Peers:    aePeers,
+			Interval: *aeIvl,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer antiEntropy.Close()
+	}
+	if len(peerList) > 0 {
+		api.SetReady(false)
 		go func() {
-			for {
-				annCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
-				err := membership.Announce(annCtx, nil, *announce, *self)
-				cancel()
-				if err == nil {
-					fmt.Fprintf(os.Stderr, "simd: joined ring at %s as %s\n", *announce, *self)
-					return
-				}
-				select {
-				case <-ctx.Done():
-					return
-				case <-time.After(time.Second):
-				}
+			res, err := api.Warmup(ctx, simd.WarmupConfig{
+				Peers:       peerList,
+				SelfURL:     *self,
+				RingURL:     *announce,
+				Timeout:     *warmTO,
+				Concurrency: *warmConc,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simd: warm-up incomplete, serving cold: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "simd: warm-up done: pulled %d, already present %d\n",
+					res.Pulled, res.Skipped)
+			}
+			api.SetReady(true)
+			if antiEntropy != nil {
+				antiEntropy.Start()
+			}
+			if *announce != "" {
+				announceLoop()
 			}
 		}()
+	} else {
+		if antiEntropy != nil {
+			antiEntropy.Start()
+		}
+		if *announce != "" {
+			go announceLoop()
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "simd: listening on %s, %s store (%s)\n",

@@ -40,7 +40,14 @@
 //     so the second machine serves the first machine's suite with zero
 //     engine runs; and the disk tier's background compactor rewrites
 //     overwrite-heavy segments, reclaiming space while every live key
-//     keeps answering.
+//     keeps answering, and
+//  8. the fleet shards its storage — per-replica stores, no shared
+//     tier — so a killed replica takes its slice's results with it;
+//     the replacement rejoins through join-time warm-up (`simd
+//     -warmup-peer`): /healthz held at 503 while it pulls the slice it
+//     is about to own from the survivors' store planes, then it flips
+//     ready and serves that slice entirely from store — X-Cache: HIT
+//     on every request, zero engine runs.
 package main
 
 import (
@@ -49,6 +56,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -105,6 +113,15 @@ func urls(backends []*httptest.Server) []string {
 		out[i] = b.URL
 	}
 	return out
+}
+
+func healthzCode(url string) int {
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
 }
 
 // waitReady polls each backend's /healthz until it answers 200 — never
@@ -705,5 +722,152 @@ func main() {
 	}
 	if reclaimedTotal <= 0 || after.Bytes >= beforeBytes {
 		fatal(fmt.Errorf("compaction reclaimed nothing (%d -> %d)", beforeBytes, after.Bytes))
+	}
+	fmt.Println()
+
+	// --- Act 8: churn and repair — rejoin with join-time warm-up. ---
+	// Every act so far healed through a shared store.  Real fleets also
+	// shard: each replica owns its store, so a dead replica takes its
+	// slice's results with it and a cold replacement would recompute
+	// them all.  The self-healing path is `simd -warmup-peer`, run here
+	// in process: the replacement holds /healthz at 503, pulls the keys
+	// of the slice it is about to own from the survivors' store planes
+	// (GET /v1/store/keys + GET /v1/store/entries/{key}), and only then
+	// flips ready and joins.
+	fmt.Println("Join-time warm-up (simd -warmup-peer): per-replica stores, kill -> rejoin warm:")
+	opts8 := []frontendsim.Option{
+		frontendsim.WithWarmupOps(12_000),
+		frontendsim.WithMeasureOps(25_000),
+		frontendsim.WithObserver(frontendsim.ObserverFunc(func(s frontendsim.Snapshot) {
+			if s.Interval == 0 {
+				engineRuns.Add(1)
+			}
+		})),
+	}
+	eng8 := frontendsim.New(opts8...)
+	newReplica8 := func(simdOpts ...simd.Option) (*httptest.Server, *simd.Server) {
+		api := simd.NewServerWithStore(frontendsim.New(opts8...), resultstore.NewMemory(128), simdOpts...)
+		srv := httptest.NewServer(api)
+		return srv, api
+	}
+	srvA, _ := newReplica8()
+	defer srvA.Close()
+	srvB, _ := newReplica8()
+	defer srvB.Close()
+	srvC, _ := newReplica8()
+	defer srvC.Close()
+	waitReady([]string{srvA.URL, srvB.URL, srvC.URL})
+
+	var members8 *membership.Registry
+	sched8, err := scheduler.New(eng8, scheduler.Config{
+		Backends:     []string{srvA.URL, srvB.URL, srvC.URL},
+		RetryBackoff: 2 * time.Millisecond,
+		ReportDispatch: func(node string, err error) {
+			if members8 != nil {
+				members8.ReportDispatch(node, err)
+			}
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	members8, err = membership.New(membership.Config{
+		QuarantineAfter: 1,
+		EvictAfter:      -1,
+		OnChange:        sched8.OnMembershipChange(),
+	}, []string{srvA.URL, srvB.URL, srvC.URL})
+	if err != nil {
+		fatal(err)
+	}
+	defer members8.Close()
+	schedSrv8 := httptest.NewServer(scheduler.NewServer(sched8, scheduler.WithMembership(members8)))
+	defer schedSrv8.Close()
+
+	suite8 := frontendsim.SuiteRequest{Benchmarks: frontendsim.Benchmarks()}
+	before = engineRuns.Load()
+	if _, err := sched8.RunSuite(ctx, suite8); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  %d-benchmark suite over 3 replicas with per-replica stores: %d engine runs\n",
+		len(suite8.Benchmarks), engineRuns.Load()-before)
+
+	srvC.Close()
+	before = engineRuns.Load()
+	if _, err := sched8.RunSuite(ctx, suite8); err != nil {
+		fatal(err)
+	}
+	if got := len(sched8.Ring().Nodes()); got != 2 {
+		fatal(fmt.Errorf("dead replica not quarantined: ring has %d members", got))
+	}
+	fmt.Printf("  killed one replica; the next suite quarantines it and recomputes its slice on the survivors: %d new engine runs, ring down to 2 members\n",
+		engineRuns.Load()-before)
+
+	warmReg := obs.NewRegistry()
+	freshSrv, freshAPI := newReplica8(simd.WithMetrics(warmReg))
+	defer freshSrv.Close()
+	freshAPI.SetReady(false)
+	if code := healthzCode(freshSrv.URL); code != http.StatusServiceUnavailable {
+		fatal(fmt.Errorf("cold replacement /healthz = %d, want 503 before warm-up", code))
+	}
+	res8, err := freshAPI.Warmup(ctx, simd.WarmupConfig{
+		Peers:   []string{srvA.URL, srvB.URL},
+		SelfURL: freshSrv.URL,
+		RingURL: schedSrv8.URL,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		fatal(fmt.Errorf("warm-up: %w", err))
+	}
+	if res8.Pulled == 0 {
+		fatal(fmt.Errorf("warm-up pulled nothing: %+v", res8))
+	}
+	if code := healthzCode(freshSrv.URL); code != http.StatusServiceUnavailable {
+		fatal(fmt.Errorf("/healthz = %d after warm-up, want 503 until the ready flip", code))
+	}
+	freshAPI.SetReady(true)
+	fmt.Printf("  replacement warmed behind its 503 readiness gate: pulled %d keys from the survivors at ring epoch %d; /healthz now %d\n",
+		res8.Pulled, res8.Epoch, healthzCode(freshSrv.URL))
+
+	// The warmed replica must serve the slice it now owns — the ring the
+	// scheduler will route once it announces — without a single engine
+	// run; a recompute here is the bug this act exists to catch.
+	ring8, err := scheduler.NewRing([]string{srvA.URL, srvB.URL, freshSrv.URL}, 0)
+	if err != nil {
+		fatal(err)
+	}
+	before = engineRuns.Load()
+	served8 := 0
+	for _, bench := range suite8.Benchmarks {
+		key, err := eng8.RequestKey(frontendsim.Request{Benchmark: bench})
+		if err != nil {
+			fatal(err)
+		}
+		if ring8.Node(key) != freshSrv.URL {
+			continue
+		}
+		served8++
+		resp, err := http.Post(freshSrv.URL+"/v1/simulations", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"benchmark":%q}`, bench)))
+		if err != nil {
+			fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "HIT" {
+			fatal(fmt.Errorf("benchmark %s on the warmed replica: status %d X-Cache %q — the warmed slice must serve from store",
+				bench, resp.StatusCode, resp.Header.Get("X-Cache")))
+		}
+	}
+	if served8 == 0 {
+		fatal(fmt.Errorf("no benchmark homed on the rejoined replica"))
+	}
+	if runs := engineRuns.Load() - before; runs != 0 {
+		fatal(fmt.Errorf("the warmed replica recomputed %d results; its slice must serve from store", runs))
+	}
+	fmt.Printf("  rejoined replica serves its %d-key slice: every request X-Cache=HIT, 0 new engine runs\n", served8)
+	for _, line := range strings.Split(warmReg.Render(), "\n") {
+		if strings.HasPrefix(line, "simd_warmup_keys_total") {
+			fmt.Printf("  /metrics: %s\n", line)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 // Package memcachetest is a small in-process memcached server speaking
 // the text protocol — just enough of it (get/gets multi-key reads, set
-// with flags and relative expiry, delete, flush_all, version, quit) for
+// with flags and relative expiry, delete, flush_all, stats, version,
+// quit) for
 // resultstore.Remote's tests, the chaos suite and the distributed
 // example to run a "shared cache tier" without a memcached binary in
 // the container.
@@ -117,6 +118,21 @@ func (s *Server) Len() int {
 	return len(s.data)
 }
 
+// liveItems counts the stored keys that have not expired — what the
+// `stats` command reports as curr_items.
+func (s *Server) liveItems() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	n := 0
+	for _, e := range s.data {
+		if e.expiresAt.IsZero() || now.Before(e.expiresAt) {
+			n++
+		}
+	}
+	return n
+}
+
 // Counts returns the command counters.
 func (s *Server) Counts() Counts {
 	return Counts{
@@ -205,6 +221,11 @@ func (s *Server) serve(conn net.Conn) {
 			s.data = map[string]entry{}
 			s.mu.Unlock()
 			fmt.Fprint(w, "OK\r\n")
+		case "stats":
+			fmt.Fprintf(w, "STAT curr_items %d\r\n", s.liveItems())
+			fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.gets.Load())
+			fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.sets.Load())
+			fmt.Fprint(w, "END\r\n")
 		case "version":
 			fmt.Fprint(w, "VERSION memcachetest\r\n")
 		case "quit":

@@ -1,0 +1,301 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/hashring"
+	"repro/pkg/resultstore"
+)
+
+// Background anti-entropy: a slow periodic digest exchange with ring
+// neighbors that pulls missing entries, so replicas whose stores
+// diverged (a missed hint, an evicted segment, a write that raced a
+// quarantine) converge without waiting for request misses to notice.
+// Each round picks this replica's clockwise ring successor (falling
+// back around the ring when it is down), compares per-bucket FNV-1a
+// key-set digests (GET /v1/store/digest), and for each differing bucket
+// pulls the keys this replica is missing.  Repair is pull-only —
+// divergence in the other direction converges when the neighbor's own
+// loop runs.
+
+// AntiEntropyConfig configures Server.NewAntiEntropy.  Zero values
+// select the defaults noted on each field.
+type AntiEntropyConfig struct {
+	// SelfURL is this replica's advertised base URL.  Required.
+	SelfURL string
+	// Peers are the replica base URLs to repair against.  When empty,
+	// peers are discovered from RingURL's GET /v1/ring each round (self
+	// excluded).
+	Peers []string
+	// RingURL is the scheduler base URL for peer discovery (ignored
+	// when Peers is set; one of the two is required).
+	RingURL string
+	// Interval is the exchange period (default 60s — anti-entropy is a
+	// slow safety net, not a replication path).
+	Interval time.Duration
+	// Buckets is the digest bucket count (default
+	// resultstore.DefaultDigestBuckets).
+	Buckets int
+	// Replicas is the ring's virtual-point count for neighbor selection
+	// (default hashring.DefaultReplicas).
+	Replicas int
+	// Client performs the HTTP exchange (default: 10s per-request
+	// timeout).
+	Client *http.Client
+	// Logf, when set, receives one line per repairing round.
+	Logf func(format string, args ...any)
+}
+
+func (c *AntiEntropyConfig) applyDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = time.Minute
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = resultstore.DefaultDigestBuckets
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// AntiEntropy is the background repair loop.  Build with
+// Server.NewAntiEntropy, then Start; Close stops the loop.
+type AntiEntropy struct {
+	s   *Server
+	cfg AntiEntropyConfig
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewAntiEntropy builds the repair loop (not yet running).  Tests call
+// RunOnce directly; production code calls Start.
+func (s *Server) NewAntiEntropy(cfg AntiEntropyConfig) (*AntiEntropy, error) {
+	cfg.applyDefaults()
+	if cfg.SelfURL == "" {
+		return nil, errors.New("simd: anti-entropy needs the self URL")
+	}
+	if len(cfg.Peers) == 0 && cfg.RingURL == "" {
+		return nil, errors.New("simd: anti-entropy needs peers or a ring URL")
+	}
+	return &AntiEntropy{s: s, cfg: cfg, stop: make(chan struct{})}, nil
+}
+
+// Start launches the periodic exchange.
+func (ae *AntiEntropy) Start() {
+	ae.wg.Add(1)
+	go func() {
+		defer ae.wg.Done()
+		ticker := time.NewTicker(ae.cfg.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ae.stop:
+				return
+			case <-ticker.C:
+				pulled, err := ae.RunOnce(context.Background())
+				if errors.Is(err, resultstore.ErrScanUnsupported) {
+					ae.cfg.Logf("simd: anti-entropy disabled: local store cannot enumerate keys")
+					return
+				}
+				if err != nil {
+					ae.cfg.Logf("simd: anti-entropy round: %v", err)
+				} else if pulled > 0 {
+					ae.cfg.Logf("simd: anti-entropy pulled %d entr%s", pulled, plural(pulled, "y", "ies"))
+				}
+			}
+		}
+	}()
+}
+
+// Close stops the loop and waits for an in-flight round.
+func (ae *AntiEntropy) Close() {
+	ae.stopOnce.Do(func() { close(ae.stop) })
+	ae.wg.Wait()
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+// peers resolves the repair candidates for one round, ordered with this
+// replica's clockwise ring successor first.
+func (ae *AntiEntropy) peers(ctx context.Context) ([]string, error) {
+	candidates := ae.cfg.Peers
+	if len(candidates) == 0 {
+		snap, err := fetchRing(ctx, ae.cfg.Client, ae.cfg.RingURL)
+		if err != nil {
+			return nil, err
+		}
+		candidates = snap.Backends
+	}
+	others := make([]string, 0, len(candidates))
+	for _, p := range candidates {
+		if p != ae.cfg.SelfURL {
+			others = append(others, p)
+		}
+	}
+	if len(others) == 0 {
+		return nil, nil
+	}
+	// Neighbor-first ordering: the successor absorbs this replica's
+	// slice on failure, so it is the likeliest to hold keys this
+	// replica is missing.
+	ring, err := hashring.New(append(append([]string(nil), others...), ae.cfg.SelfURL), ae.cfg.Replicas)
+	if err != nil {
+		return others, nil
+	}
+	successor := ring.Successor(ae.cfg.SelfURL)
+	ordered := make([]string, 0, len(others))
+	if successor != "" {
+		ordered = append(ordered, successor)
+	}
+	for _, p := range others {
+		if p != successor {
+			ordered = append(ordered, p)
+		}
+	}
+	return ordered, nil
+}
+
+// fetchPeerDigest reads one peer's per-bucket digests.
+func fetchPeerDigest(ctx context.Context, client *http.Client, peer string, buckets int) (storeDigestResponse, error) {
+	var body storeDigestResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/store/digest?buckets=%d", peer, buckets), nil)
+	if err != nil {
+		return body, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return body, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotImplemented {
+		return body, errPeerCannotEnumerate
+	}
+	if resp.StatusCode != http.StatusOK {
+		return body, fmt.Errorf("simd: digest from %s: status %d", peer, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return body, fmt.Errorf("simd: digest from %s: %w", peer, err)
+	}
+	return body, nil
+}
+
+// fetchPeerBucketKeys enumerates one peer bucket's keys.
+func fetchPeerBucketKeys(ctx context.Context, client *http.Client, peer string, bucket, buckets int) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/v1/store/keys?bucket=%d&buckets=%d", peer, bucket, buckets), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("simd: bucket keys from %s: status %d", peer, resp.StatusCode)
+	}
+	var body storeKeysResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("simd: bucket keys from %s: %w", peer, err)
+	}
+	return body.Keys, nil
+}
+
+// RunOnce performs one digest exchange: compare per-bucket digests with
+// the first answering peer and pull every key it holds that this
+// replica is missing.  Returns how many entries were pulled.  A local
+// store without the Scanner capability returns
+// resultstore.ErrScanUnsupported (the loop then disables itself).
+func (ae *AntiEntropy) RunOnce(ctx context.Context) (int, error) {
+	localKeys, ok, err := resultstore.ScanKeys(ctx, ae.s.store, nil)
+	if !ok {
+		return 0, err
+	}
+	if err != nil {
+		ae.s.aeErrs.Add(1)
+		return 0, err
+	}
+	peers, err := ae.peers(ctx)
+	if err != nil {
+		ae.s.aeErrs.Add(1)
+		return 0, err
+	}
+	if len(peers) == 0 {
+		return 0, nil
+	}
+
+	local := make(map[string]bool, len(localKeys))
+	for _, k := range localKeys {
+		local[k] = true
+	}
+	localDigests := resultstore.BucketDigests(localKeys, ae.cfg.Buckets)
+
+	var peerDigest storeDigestResponse
+	peer := ""
+	var lastErr error
+	for _, p := range peers {
+		d, err := fetchPeerDigest(ctx, ae.cfg.Client, p, ae.cfg.Buckets)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		peerDigest, peer = d, p
+		break
+	}
+	if peer == "" {
+		ae.s.aeErrs.Add(1)
+		return 0, fmt.Errorf("simd: no anti-entropy peer answered: %w", lastErr)
+	}
+	if len(peerDigest.Digests) != len(localDigests) {
+		ae.s.aeErrs.Add(1)
+		return 0, fmt.Errorf("simd: digest bucket mismatch with %s: %d != %d",
+			peer, len(peerDigest.Digests), len(localDigests))
+	}
+
+	pulled := 0
+	for b := range localDigests {
+		if peerDigest.Digests[b] == localDigests[b] || peerDigest.Digests[b].Count == 0 {
+			continue
+		}
+		keys, err := fetchPeerBucketKeys(ctx, ae.cfg.Client, peer, b, ae.cfg.Buckets)
+		if err != nil {
+			ae.s.aeErrs.Add(1)
+			return pulled, err
+		}
+		for _, key := range keys {
+			if local[key] {
+				continue
+			}
+			body, err := fetchPeerEntry(ctx, ae.cfg.Client, peer, key)
+			if err != nil {
+				ae.s.aeErrs.Add(1)
+				continue
+			}
+			if ae.s.store.Set(ctx, key, body) != nil {
+				ae.s.aeErrs.Add(1)
+				continue
+			}
+			pulled++
+			ae.s.aePulled.Add(1)
+		}
+	}
+	ae.s.aeRounds.Add(1)
+	return pulled, nil
+}

@@ -34,6 +34,11 @@ const DefaultMaxBodyBytes = 1 << 20
 //	                            aggregate line
 //	GET  /v1/benchmarks         the available benchmark profiles
 //	GET  /v1/cache/stats        response-cache counters
+//	GET  /v1/store/keys         live key enumeration (501 without the
+//	                            store's Scanner capability)
+//	GET  /v1/store/digest       per-bucket key-set digests (anti-entropy)
+//	GET  /v1/store/entries/{key}  one stored response body, verbatim
+//	PUT  /v1/store/entries/{key}  repair write (hint replay, reseeding)
 //	GET  /metrics               Prometheus text exposition (with WithMetrics)
 //	GET  /healthz               readiness: 200 while serving, 503 when
 //	                            draining or the response store is down
@@ -68,6 +73,16 @@ type Server struct {
 	// coalesced counts requests served by joining another caller's
 	// in-flight simulation (reported by /v1/cache/stats).
 	coalesced atomic.Uint64
+
+	// Self-healing counters: entries pulled (and pull failures) during
+	// join-time warm-up, anti-entropy repair rounds and the entries they
+	// pulled, and repair writes accepted through PUT /v1/store/entries.
+	warmupKeys   atomic.Uint64
+	warmupErrs   atomic.Uint64
+	aeRounds     atomic.Uint64
+	aePulled     atomic.Uint64
+	aeErrs       atomic.Uint64
+	repairWrites atomic.Uint64
 }
 
 // Option configures NewServer / NewServerWithStore.
@@ -146,6 +161,10 @@ func NewServerWithStore(eng *frontendsim.Engine, store resultstore.Store, opts .
 	s.handle("POST /v1/suites/stream", s.handleSuiteStream)
 	s.handle("GET /v1/benchmarks", s.handleBenchmarks)
 	s.handle("GET /v1/cache/stats", s.handleCacheStats)
+	s.handle("GET /v1/store/keys", s.handleStoreKeys)
+	s.handle("GET /v1/store/digest", s.handleStoreDigest)
+	s.handle("GET /v1/store/entries/{key}", s.handleStoreGetEntry)
+	s.handle("PUT /v1/store/entries/{key}", s.handleStorePutEntry)
 	s.handle("GET /healthz", s.handleHealthz)
 	if s.metrics != nil {
 		s.mux.Handle("GET /metrics", s.metrics.Handler())
@@ -208,6 +227,30 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 			} else {
 				emit(nil, 0)
 			}
+		})
+	reg.Sampled("simd_warmup_keys_total", "Entries pulled from peers during join-time warm-up.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.warmupKeys.Load()))
+		})
+	reg.Sampled("simd_warmup_errors_total", "Warm-up pulls that failed on every peer.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.warmupErrs.Load()))
+		})
+	reg.Sampled("simd_antientropy_rounds_total", "Completed anti-entropy digest exchanges.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.aeRounds.Load()))
+		})
+	reg.Sampled("simd_antientropy_pulled_total", "Entries pulled from peers by anti-entropy repair.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.aePulled.Load()))
+		})
+	reg.Sampled("simd_antientropy_errors_total", "Anti-entropy rounds or pulls that failed.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.aeErrs.Load()))
+		})
+	reg.Sampled("simd_store_repair_writes_total", "Entries accepted through PUT /v1/store/entries (hint replay, reseeding).",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.repairWrites.Load()))
 		})
 }
 
@@ -603,6 +646,9 @@ func Describe() string {
 		"POST /v1/suites/stream",
 		"GET /v1/benchmarks",
 		"GET /v1/cache/stats",
+		"GET /v1/store/keys",
+		"GET /v1/store/digest",
+		"GET|PUT /v1/store/entries/{key}",
 		"GET /metrics",
 		"GET /healthz",
 	}, ", ")

@@ -1,0 +1,356 @@
+package simd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/hashring"
+	"repro/pkg/resultstore"
+)
+
+// Join-time warm-up: a replica that (re)joins the ring pulls the keys
+// that hash to its ring slice from live peers *before* it reports ready
+// on /healthz, so its first routed requests are cache hits instead of a
+// recompute storm.  The puller enumerates peers' live keys (GET
+// /v1/store/keys), filters to the slice it will own under the ring the
+// scheduler is routing by (GET {ring}/v1/ring, plus itself), and pulls
+// each missing entry (GET /v1/store/entries/{key}) with bounded
+// concurrency.  Pulls fail over across peers per key, already-present
+// keys are skipped, and the whole pass re-runs while the membership
+// epoch keeps moving or keys remain missing — so a peer dying mid-pull
+// costs a retry round, not the warm-up.
+
+// WarmupConfig configures Server.Warmup.  Zero values select the
+// defaults noted on each field.
+type WarmupConfig struct {
+	// Peers are base URLs of live replicas to pull from.  Required.  A
+	// peer whose store cannot enumerate keys (501 — e.g. a remote-only
+	// store) is skipped for enumeration but still serves entry pulls.
+	Peers []string
+	// SelfURL is this replica's advertised base URL — the ring node the
+	// slice filter selects.  Required when RingURL is set.
+	SelfURL string
+	// RingURL is the scheduler base URL whose GET /v1/ring reports the
+	// backends currently routed to.  The warm-up ring is those backends
+	// plus SelfURL; keys homed elsewhere are not pulled.  Empty pulls
+	// every key the peers hold (single-scheduler deployments always set
+	// it; a cold standby might not).
+	RingURL string
+	// Timeout bounds the whole warm-up (default 2m).
+	Timeout time.Duration
+	// Concurrency bounds simultaneous entry pulls (default 8).
+	Concurrency int
+	// Replicas is the ring's virtual-point count (default
+	// hashring.DefaultReplicas; must match the scheduler's -replicas).
+	Replicas int
+	// Client performs the HTTP pulls (default: a client with a 10s
+	// per-request timeout).
+	Client *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// WarmupResult reports what a warm-up pass accomplished.
+type WarmupResult struct {
+	// Pulled counts entries fetched from peers and stored locally.
+	Pulled int
+	// Skipped counts slice keys already present locally.
+	Skipped int
+	// Failed counts slice keys that could not be fetched from any peer
+	// before the timeout.
+	Failed int
+	// Epoch is the membership epoch the final pass ran under (0 without
+	// RingURL).
+	Epoch uint64
+}
+
+func (c *WarmupConfig) applyDefaults() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// ringSnapshot is the subset of the scheduler's GET /v1/ring response
+// the warm-up and anti-entropy clients need.
+type ringSnapshot struct {
+	Backends []string `json:"backends"`
+	Epoch    uint64   `json:"epoch"`
+}
+
+// fetchRing reads the scheduler's current backend set and epoch.
+func fetchRing(ctx context.Context, client *http.Client, ringURL string) (ringSnapshot, error) {
+	var snap ringSnapshot
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ringURL+"/v1/ring", nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("simd: ring fetch from %s: status %d", ringURL, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("simd: ring fetch from %s: %w", ringURL, err)
+	}
+	return snap, nil
+}
+
+// errPeerCannotEnumerate marks a peer whose store has no Scanner
+// capability (the endpoint answered 501); the puller falls back to a
+// peer that has it.
+var errPeerCannotEnumerate = errors.New("simd: peer store cannot enumerate keys")
+
+// fetchPeerKeys enumerates one peer's live key set.
+func fetchPeerKeys(ctx context.Context, client *http.Client, peer string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/store/keys", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotImplemented {
+		return nil, errPeerCannotEnumerate
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("simd: key enumeration from %s: status %d", peer, resp.StatusCode)
+	}
+	var body storeKeysResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("simd: key enumeration from %s: %w", peer, err)
+	}
+	return body.Keys, nil
+}
+
+// fetchPeerEntry pulls one stored body from a peer.
+func fetchPeerEntry(ctx context.Context, client *http.Client, peer, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/v1/store/entries/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("simd: entry pull %s from %s: status %d", key, peer, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// sliceFilter builds the "hashes to my slice" predicate from the
+// scheduler's routed backends plus self.  A nil return means pull
+// everything (no ring configured).
+func sliceFilter(backends []string, self string, replicas int) (func(string) bool, error) {
+	if len(backends) == 0 && self == "" {
+		return nil, nil
+	}
+	nodes := append(append([]string(nil), backends...), self)
+	ring, err := hashring.New(nodes, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return func(key string) bool { return ring.Node(key) == self }, nil
+}
+
+// Warmup pulls this replica's ring slice from cfg.Peers into the local
+// store.  It blocks until the slice is warm, the timeout lapses, or ctx
+// ends; the caller flips readiness (SetReady(true)) only after it
+// returns, so the scheduler's probes keep answering 503 while the store
+// fills.  The pass re-runs while the membership epoch moves under it —
+// a ring change mid-pull re-slices and tops up — and pull failures
+// retry against every peer until the deadline, so a peer dying mid-pull
+// degrades to the surviving peers instead of aborting.  An error means
+// the warm-up could not complete (no peer enumerated, or the deadline
+// passed with keys still failing); the store holds whatever was pulled
+// and the caller decides whether to serve cold.
+func (s *Server) Warmup(ctx context.Context, cfg WarmupConfig) (WarmupResult, error) {
+	cfg.applyDefaults()
+	if len(cfg.Peers) == 0 {
+		return WarmupResult{}, errors.New("simd: warm-up needs at least one peer")
+	}
+	if cfg.RingURL != "" && cfg.SelfURL == "" {
+		return WarmupResult{}, errors.New("simd: warm-up with a ring URL needs the self URL")
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+
+	var total WarmupResult
+	enumerated := false
+	for round := 0; ; round++ {
+		pass, epoch, err := s.warmupPass(ctx, &cfg)
+		total.Pulled += pass.Pulled
+		total.Skipped = pass.Skipped
+		total.Failed = pass.Failed
+		total.Epoch = epoch
+		if err == nil {
+			enumerated = true
+		}
+		switch {
+		case err == nil && pass.Failed == 0 && pass.stableEpoch:
+			return total, nil
+		case ctx.Err() != nil:
+			if !enumerated {
+				return total, fmt.Errorf("simd: warm-up expired before any peer enumerated: %w", err)
+			}
+			return total, fmt.Errorf("simd: warm-up expired with %d key(s) unpulled", pass.Failed)
+		}
+		if err != nil {
+			cfg.Logf("simd: warm-up round %d: %v (retrying)", round, err)
+		} else {
+			cfg.Logf("simd: warm-up round %d: %d pulled, %d failed, epoch moved or keys missing — retrying",
+				round, pass.Pulled, pass.Failed)
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// warmupPassResult is one pass's accounting plus whether the membership
+// epoch held still across it.
+type warmupPassResult struct {
+	WarmupResult
+	stableEpoch bool
+}
+
+// warmupPass runs one enumerate→filter→pull pass and reports whether
+// the epoch was stable across it.
+func (s *Server) warmupPass(ctx context.Context, cfg *WarmupConfig) (warmupPassResult, uint64, error) {
+	var epochBefore uint64
+	var backends []string
+	if cfg.RingURL != "" {
+		snap, err := fetchRing(ctx, cfg.Client, cfg.RingURL)
+		if err != nil {
+			return warmupPassResult{}, 0, err
+		}
+		epochBefore, backends = snap.Epoch, snap.Backends
+	}
+	filter, err := sliceFilter(backends, cfg.SelfURL, cfg.Replicas)
+	if err != nil {
+		return warmupPassResult{}, epochBefore, err
+	}
+
+	// Union the key sets of every peer that can enumerate: after a
+	// failure the dead replica's slice was absorbed by several
+	// survivors, so no single peer holds it all.
+	keySource := map[string]string{} // key -> first peer listing it
+	enumerated := 0
+	var lastErr error
+	for _, peer := range cfg.Peers {
+		keys, err := fetchPeerKeys(ctx, cfg.Client, peer)
+		if err != nil {
+			if errors.Is(err, errPeerCannotEnumerate) {
+				cfg.Logf("simd: warm-up: %s cannot enumerate keys, falling back to next peer", peer)
+			}
+			lastErr = err
+			continue
+		}
+		enumerated++
+		for _, k := range keys {
+			if _, ok := keySource[k]; !ok {
+				keySource[k] = peer
+			}
+		}
+	}
+	if enumerated == 0 {
+		return warmupPassResult{}, epochBefore, fmt.Errorf("simd: no warm-up peer enumerated keys: %w", lastErr)
+	}
+
+	// Pull the slice with bounded concurrency, failing over across
+	// peers per key and skipping keys already present.
+	var mu sync.Mutex
+	res := warmupPassResult{}
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for key, firstPeer := range keySource {
+		if filter != nil && !filter(key) {
+			continue
+		}
+		if _, ok, err := resultstore.Peek(ctx, s.store, key); err == nil && ok {
+			res.Skipped++
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(key, firstPeer string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body, err := s.pullEntry(ctx, cfg, key, firstPeer)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Failed++
+				s.warmupErrs.Add(1)
+				return
+			}
+			if s.store.Set(ctx, key, body) != nil {
+				res.Failed++
+				s.warmupErrs.Add(1)
+				return
+			}
+			res.Pulled++
+			s.warmupKeys.Add(1)
+		}(key, firstPeer)
+	}
+	wg.Wait()
+
+	res.stableEpoch = true
+	epoch := epochBefore
+	if cfg.RingURL != "" {
+		snap, err := fetchRing(ctx, cfg.Client, cfg.RingURL)
+		if err == nil {
+			epoch = snap.Epoch
+			res.stableEpoch = snap.Epoch == epochBefore
+		}
+	}
+	return res, epoch, nil
+}
+
+// pullEntry fetches one entry, trying the peer that listed the key
+// first and failing over to every other peer.
+func (s *Server) pullEntry(ctx context.Context, cfg *WarmupConfig, key, firstPeer string) ([]byte, error) {
+	peers := make([]string, 0, len(cfg.Peers))
+	peers = append(peers, firstPeer)
+	for _, p := range cfg.Peers {
+		if p != firstPeer {
+			peers = append(peers, p)
+		}
+	}
+	var lastErr error
+	for _, peer := range peers {
+		body, err := fetchPeerEntry(ctx, cfg.Client, peer, key)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,340 @@
+package simd
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hashring"
+	"repro/internal/memcachetest"
+	"repro/pkg/frontendsim"
+	"repro/pkg/resultstore"
+	"repro/pkg/scheduler"
+)
+
+// warmEngine matches the chaos-tier short simulations so scheduler and
+// backend cache keys align, counting engine runs through the observer.
+func warmEngine() (*frontendsim.Engine, *atomic.Int64) {
+	var runs atomic.Int64
+	eng := frontendsim.New(
+		frontendsim.WithWarmupOps(12_000),
+		frontendsim.WithMeasureOps(25_000),
+		frontendsim.WithObserver(frontendsim.ObserverFunc(func(s frontendsim.Snapshot) {
+			if s.Interval == 0 {
+				runs.Add(1)
+			}
+		})),
+	)
+	return eng, &runs
+}
+
+// replica is one warm-up test node: a simd server over its own memory
+// store, reachable over real HTTP.
+type replica struct {
+	api   *Server
+	store resultstore.Store
+	runs  *atomic.Int64
+	url   string
+}
+
+func newReplica(t *testing.T) *replica {
+	t.Helper()
+	store := resultstore.NewMemory(256)
+	t.Cleanup(func() { store.Close() })
+	eng, runs := warmEngine()
+	api := NewServerWithStore(eng, store)
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+	return &replica{api: api, store: store, runs: runs, url: srv.URL}
+}
+
+// ringStub serves a fixed GET /v1/ring snapshot.
+func ringStub(t *testing.T, backends []string, epoch uint64) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/ring" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"backends": backends, "epoch": epoch})
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func storeKeySet(t *testing.T, s resultstore.Store) map[string]bool {
+	t.Helper()
+	keys, ok, err := resultstore.ScanKeys(context.Background(), s, nil)
+	if !ok || err != nil {
+		t.Fatalf("ScanKeys = ok %v err %v", ok, err)
+	}
+	set := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		set[k] = true
+	}
+	return set
+}
+
+// TestWarmupPullsOnlyOwnSlice seeds a peer with keys spread over the
+// whole hash space and asserts the joiner pulls exactly the keys that
+// hash to its slice of the ring the scheduler reports — not the peer's
+// whole store.
+func TestWarmupPullsOnlyOwnSlice(t *testing.T) {
+	peer, joiner := newReplica(t), newReplica(t)
+	ringURL := ringStub(t, []string{peer.url}, 7)
+
+	ring, err := hashring.New([]string{peer.url, joiner.url}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Digest-shaped keys: production keys are canonical request hashes,
+	// and FNV-clustered sequential strings would all land in one vnode
+	// gap.
+	wantMine := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%03d", i)))
+		key := fmt.Sprintf("%x", sum[:8])
+		if err := peer.store.Set(context.Background(), key, []byte("body-"+key)); err != nil {
+			t.Fatal(err)
+		}
+		if ring.Node(key) == joiner.url {
+			wantMine[key] = true
+		}
+	}
+	if len(wantMine) == 0 || len(wantMine) == 40 {
+		t.Fatalf("degenerate slice: %d of 40 keys homed on the joiner", len(wantMine))
+	}
+
+	res, err := joiner.api.Warmup(context.Background(), WarmupConfig{
+		Peers:   []string{peer.url},
+		SelfURL: joiner.url,
+		RingURL: ringURL,
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Warmup: %v", err)
+	}
+	if res.Pulled != len(wantMine) || res.Failed != 0 {
+		t.Fatalf("result = %+v, want %d pulled", res, len(wantMine))
+	}
+	if res.Epoch != 7 {
+		t.Errorf("epoch = %d, want the ring stub's 7", res.Epoch)
+	}
+	got := storeKeySet(t, joiner.store)
+	for k := range wantMine {
+		if !got[k] {
+			t.Errorf("slice key %q not pulled", k)
+		}
+	}
+	for k := range got {
+		if !wantMine[k] {
+			t.Errorf("pulled %q, homed on the peer", k)
+		}
+	}
+	if n := joiner.api.warmupKeys.Load(); n != uint64(len(wantMine)) {
+		t.Errorf("simd_warmup_keys_total = %d, want %d", n, len(wantMine))
+	}
+}
+
+// TestWarmupFallsBackToEnumeratingPeer pins the capability fallback: the
+// first peer is remote-backed (its store answers 501 to key
+// enumeration), so the joiner warms from the second peer's enumeration.
+func TestWarmupFallsBackToEnumeratingPeer(t *testing.T) {
+	cache := memcachetest.Start(t)
+	remoteStore, err := resultstore.NewRemote(resultstore.RemoteConfig{Servers: []string{cache.Addr()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { remoteStore.Close() })
+	eng, _ := warmEngine()
+	blind := httptest.NewServer(NewServerWithStore(eng, remoteStore))
+	t.Cleanup(blind.Close)
+
+	sighted, joiner := newReplica(t), newReplica(t)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := sighted.store.Set(context.Background(), k, []byte("v-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := joiner.api.Warmup(context.Background(), WarmupConfig{
+		Peers:   []string{blind.URL, sighted.url},
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Warmup with a non-enumerating first peer: %v", err)
+	}
+	if res.Pulled != 3 {
+		t.Fatalf("pulled %d, want the sighted peer's 3", res.Pulled)
+	}
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if v, ok, _ := resultstore.Peek(context.Background(), joiner.store, k); !ok || string(v) != "v-"+k {
+			t.Errorf("key %s = %q %v after warm-up", k, v, ok)
+		}
+	}
+}
+
+// TestWarmupResumesAfterPeerFailure kills one entry endpoint for the
+// first round: the warm-up must retry the failed key on a later round
+// instead of giving up, and still account every pull.
+func TestWarmupResumesAfterPeerFailure(t *testing.T) {
+	var k2Alive atomic.Bool
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/store/keys":
+			json.NewEncoder(w).Encode(storeKeysResponse{Count: 2, Keys: []string{"k1", "k2"}})
+		case "/v1/store/entries/k1":
+			w.Write([]byte("b1"))
+		case "/v1/store/entries/k2":
+			if !k2Alive.Load() {
+				k2Alive.Store(true) // dead for exactly one pull
+				http.Error(w, "mid-pull crash", http.StatusInternalServerError)
+				return
+			}
+			w.Write([]byte("b2"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(peer.Close)
+
+	joiner := newReplica(t)
+	res, err := joiner.api.Warmup(context.Background(), WarmupConfig{
+		Peers:   []string{peer.URL},
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Warmup did not resume past the failed pull: %v", err)
+	}
+	if res.Pulled != 2 || res.Failed != 0 {
+		t.Fatalf("result = %+v, want both keys pulled across rounds", res)
+	}
+	if joiner.api.warmupErrs.Load() == 0 {
+		t.Error("simd_warmup_errors_total = 0, want the first-round failure counted")
+	}
+	for k, want := range map[string]string{"k1": "b1", "k2": "b2"} {
+		if v, ok, _ := resultstore.Peek(context.Background(), joiner.store, k); !ok || string(v) != want {
+			t.Errorf("key %s = %q %v", k, v, ok)
+		}
+	}
+}
+
+// TestWarmupTimeoutWithoutEnumeration pins the failure mode: no peer
+// ever enumerates, the deadline lapses, and Warmup reports an error
+// instead of spinning.
+func TestWarmupTimeoutWithoutEnumeration(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	joiner := newReplica(t)
+	if _, err := joiner.api.Warmup(context.Background(), WarmupConfig{
+		Peers:   []string{dead.URL},
+		Timeout: 400 * time.Millisecond,
+	}); err == nil {
+		t.Fatal("Warmup succeeded with no enumerable peer")
+	}
+}
+
+// TestWarmupRejoinServesSliceWithoutRecompute is the headline
+// integration test: a 3-replica fleet loses replica C, suites run over
+// the survivors, and a fresh C rejoins with warm-up.  The rejoined C
+// must hold /healthz at 503 until the warm-up completes and then answer
+// every request of its ring slice byte-identical to the original
+// computation with X-Cache: HIT and zero local engine runs.
+func TestWarmupRejoinServesSliceWithoutRecompute(t *testing.T) {
+	// Replicas A and B survive; C is dead (it only ever existed as a
+	// ring address — the fresh one below takes over its slice).
+	a, b := newReplica(t), newReplica(t)
+	eng, _ := warmEngine()
+	sched, err := scheduler.New(eng, scheduler.Config{Backends: []string{a.url, b.url}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedSrv := httptest.NewServer(scheduler.NewServer(sched))
+	t.Cleanup(schedSrv.Close)
+
+	suite := frontendsim.SuiteRequest{Benchmarks: frontendsim.Benchmarks()}
+	if _, err := sched.RunSuite(context.Background(), suite); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fresh C: cold store, not ready — /healthz must answer 503
+	// while the warm-up runs, so the scheduler keeps routing around it.
+	c := newReplica(t)
+	c.api.SetReady(false)
+	if w := get(t, c.api, "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz before warm-up = %d, want 503", w.Code)
+	}
+
+	res, err := c.api.Warmup(context.Background(), WarmupConfig{
+		Peers:   []string{a.url, b.url},
+		SelfURL: c.url,
+		RingURL: schedSrv.URL,
+		Timeout: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("Warmup: %v", err)
+	}
+	if w := get(t, c.api, "/healthz"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after warm-up but before SetReady = %d, want 503 (readiness is the caller's flip)", w.Code)
+	}
+	c.api.SetReady(true)
+	if w := get(t, c.api, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz after SetReady = %d", w.Code)
+	}
+
+	// C's slice under the post-join ring: benchmarks whose key homes on
+	// C among {A, B, C}.
+	ring, err := hashring.New([]string{a.url, b.url, c.url}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := 0
+	for _, bench := range frontendsim.Benchmarks() {
+		key, err := eng.RequestKey(frontendsim.Request{Benchmark: bench})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ring.Node(key) != c.url {
+			continue
+		}
+		served++
+		// The bytes the surviving fleet serves for this key.
+		want, ok, err := resultstore.Peek(context.Background(), a.store, key)
+		if err != nil || !ok {
+			want, ok, err = resultstore.Peek(context.Background(), b.store, key)
+		}
+		if err != nil || !ok {
+			t.Fatalf("benchmark %s (key %s) not in any survivor's store", bench, key)
+		}
+		w := post(t, c.api, "/v1/simulations", fmt.Sprintf(`{"benchmark":%q}`, bench))
+		if w.Code != http.StatusOK {
+			t.Fatalf("POST %s to rejoined C = %d", bench, w.Code)
+		}
+		if got := w.Header().Get("X-Cache"); got != "HIT" {
+			t.Errorf("benchmark %s: X-Cache = %q, want HIT from the warmed store", bench, got)
+		}
+		if w.Body.String() != string(want) {
+			t.Errorf("benchmark %s: body differs from the original computation", bench)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no benchmark homed on C; test proves nothing")
+	}
+	if runs := c.runs.Load(); runs != 0 {
+		t.Errorf("rejoined C ran its engine %d times; the warmed slice must serve without recompute", runs)
+	}
+	if res.Pulled == 0 {
+		t.Errorf("warm-up pulled nothing: %+v", res)
+	}
+	if n := c.api.warmupKeys.Load(); n == 0 {
+		t.Error("simd_warmup_keys_total = 0 after a pulling warm-up")
+	}
+}

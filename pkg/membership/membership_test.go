@@ -459,3 +459,145 @@ func TestNewValidation(t *testing.T) {
 		t.Errorf("fresh registry epoch = %d, want 0", reg.Epoch())
 	}
 }
+
+// transitionLog records OnTransition deliveries in order.
+type transitionLog struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (l *transitionLog) record(url string, tr Transition) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, fmt.Sprintf("%s:%s", tr, url))
+}
+
+func (l *transitionLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.events...)
+}
+
+// TestTransitionLifecycle drives one member through every transition —
+// join, quarantine, reinstate, leave, rejoin, quarantine, evict — and
+// pins the OnTransition sequence plus its ordering after OnChange for
+// epoch-bumping events.
+func TestTransitionLifecycle(t *testing.T) {
+	stub := newHealthStub(t)
+	url := stub.srv.URL
+	seed := newHealthStub(t).srv.URL
+
+	var log transitionLog
+	var changeSeen atomic.Int64
+	cfg := testConfig()
+	cfg.EvictAfter = time.Hour
+	cfg.OnChange = func(uint64, []string) { changeSeen.Add(1) }
+	cfg.OnTransition = func(u string, tr Transition) {
+		// Every epoch-bumping transition must observe its OnChange
+		// already delivered — replay wiring relies on the new ring
+		// being in place before the hint queue reacts.
+		if changeSeen.Load() == 0 {
+			t.Errorf("transition %s:%s delivered before any OnChange", tr, u)
+		}
+		log.record(u, tr)
+	}
+	reg, err := New(cfg, []string{seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ctx := context.Background()
+
+	if err := reg.Join(url); err != nil { // brand-new member
+		t.Fatal(err)
+	}
+	stub.fail.Store(true)
+	reg.ProbeNow(ctx)
+	reg.ProbeNow(ctx)                     // second failure quarantines
+	if err := reg.Join(url); err != nil { // join while quarantined = reinstate
+		t.Fatal(err)
+	}
+	if err := reg.Leave(url); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Join(url); err != nil { // back again
+		t.Fatal(err)
+	}
+	reg.ProbeNow(ctx)
+	reg.ProbeNow(ctx)
+	reg.mu.Lock()
+	reg.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	reg.mu.Unlock()
+	reg.ProbeNow(ctx) // past the deadline: evict
+
+	want := []string{
+		"join:" + url,
+		"quarantine:" + url,
+		"reinstate:" + url,
+		"leave:" + url,
+		"join:" + url,
+		"quarantine:" + url,
+		"evict:" + url,
+	}
+	got := log.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestTransitionReinstateViaProbe pins that a probe-driven recovery
+// (not just an explicit Join) delivers TransitionReinstate.
+func TestTransitionReinstateViaProbe(t *testing.T) {
+	stub := newHealthStub(t)
+	var log transitionLog
+	cfg := testConfig()
+	cfg.OnTransition = log.record
+	reg, err := New(cfg, []string{stub.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	ctx := context.Background()
+
+	stub.fail.Store(true)
+	reg.ProbeNow(ctx)
+	reg.ProbeNow(ctx)
+	stub.fail.Store(false)
+	reg.ProbeNow(ctx)
+
+	want := []string{"quarantine:" + stub.srv.URL, "reinstate:" + stub.srv.URL}
+	if got := log.snapshot(); len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("transitions = %v, want %v", got, want)
+	}
+}
+
+// TestTransitionQuarantineViaDispatch pins that live dispatch verdicts
+// (ReportDispatch) deliver TransitionQuarantine like probes do.
+func TestTransitionQuarantineViaDispatch(t *testing.T) {
+	stub := newHealthStub(t)
+	var log transitionLog
+	cfg := testConfig()
+	cfg.OnTransition = log.record
+	reg, err := New(cfg, []string{stub.srv.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	reg.ReportDispatch(stub.srv.URL, fmt.Errorf("boom"))
+	reg.ReportDispatch(stub.srv.URL, fmt.Errorf("boom"))
+	if got := log.snapshot(); len(got) != 1 || got[0] != "quarantine:"+stub.srv.URL {
+		t.Fatalf("transitions = %v, want one quarantine", got)
+	}
+	// Success does not reinstate through the dispatch path (that is the
+	// probe's job), so no further transitions.
+	reg.ReportDispatch(stub.srv.URL, nil)
+	if got := log.snapshot(); len(got) != 1 {
+		t.Fatalf("transitions after success report = %v", got)
+	}
+}

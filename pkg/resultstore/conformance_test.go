@@ -1,7 +1,9 @@
 package resultstore
 
 import (
+	"errors"
 	"fmt"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -235,6 +237,59 @@ func TestConformanceStatsAfterReopen(t *testing.T) {
 			if entries, _, _ := Totals(s.Stats()); entries != 4 {
 				t.Errorf("entries after reopen = %d, want 4", entries)
 			}
+		}
+	})
+}
+
+// TestConformanceScanKeys pins the Scanner capability across backends:
+// scannable stores enumerate exactly the live key set (newest-wins, one
+// entry per key, filter honored), the remote client cleanly reports the
+// capability absent, and durable backends enumerate the same set after
+// a reopen.
+func TestConformanceScanKeys(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, tc conformanceCase) {
+		s := tc.open(t)
+		want := []string{"alpha", "beta", "gamma"}
+		for _, k := range want {
+			mustSet(t, s, k, "v1")
+		}
+		mustSet(t, s, "alpha", "v2") // overwrite must not duplicate the key
+
+		keys, ok, err := ScanKeys(ctx, s, nil)
+		if _, isScanner := s.(Scanner); !isScanner {
+			if ok || !errors.Is(err, ErrScanUnsupported) {
+				t.Fatalf("non-Scanner backend: ScanKeys = ok %v err %v, want capability-absent", ok, err)
+			}
+			return
+		}
+		if !ok || err != nil {
+			t.Fatalf("ScanKeys = ok %v err %v", ok, err)
+		}
+		if got := SortKeys(keys); !reflect.DeepEqual(got, want) {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+
+		filtered, _, err := ScanKeys(ctx, s, func(k string) bool { return k == "beta" })
+		if err != nil || !reflect.DeepEqual(filtered, []string{"beta"}) {
+			t.Fatalf("filtered keys = %v %v, want [beta]", filtered, err)
+		}
+
+		if tc.reopen != nil {
+			s = tc.reopen(t, s)
+			keys, ok, err = ScanKeys(ctx, s, nil)
+			if !ok || err != nil {
+				t.Fatalf("ScanKeys after reopen = ok %v err %v", ok, err)
+			}
+			if got := SortKeys(keys); !reflect.DeepEqual(got, want) {
+				t.Fatalf("keys after reopen = %v, want %v", got, want)
+			}
+		}
+
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := ScanKeys(ctx, s, nil); err == nil {
+			t.Error("ScanKeys after Close succeeded")
 		}
 	})
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,8 +36,9 @@ import (
 //     lapses the server is retried.
 //
 // Values are stored with TTL (Config.TTL; zero keeps entries until the
-// server evicts them).  The remote tier does not know its entry count,
-// so Stats reports zero entries; hit/miss/set/error counters are exact.
+// server evicts them).  Stats reports the server-side entry count
+// (summed `stats` curr_items across live servers, briefly cached);
+// hit/miss/set/error counters are exact.
 type Remote struct {
 	cfg     RemoteConfig
 	servers []*remoteServer
@@ -62,6 +64,13 @@ type Remote struct {
 	// batchHist, when registered, observes the size of every drained
 	// batch as store_remote_batch_size.
 	batchHist atomic.Pointer[batchObserver]
+
+	// statsMu guards the cached server-side entry count: Stats is
+	// rendered on every /metrics scrape, so the `stats` round trip is
+	// issued at most once per statsRefresh.
+	statsMu      sync.Mutex
+	statsAt      time.Time
+	statsEntries int
 }
 
 type batchObserver struct{ observe func(float64) }
@@ -520,16 +529,88 @@ func (r *Remote) Set(ctx context.Context, key string, val []byte) error {
 	return nil
 }
 
-// Stats returns the remote tier's counters.  Entries is always zero:
-// the client cannot know the server-side key count.
+// Stats returns the remote tier's counters.  Entries is the server-side
+// key count: the summed curr_items each live server reports to the
+// memcached `stats` command, refreshed at most once per second and
+// holding the last known value while servers are unreachable.
 func (r *Remote) Stats() []TierStats {
 	return []TierStats{{
-		Tier:   "remote",
-		Hits:   r.hits.Load(),
-		Misses: r.misses.Load(),
-		Sets:   r.sets.Load(),
-		Errors: r.getErrs.Load() + r.setErrs.Load(),
+		Tier:    "remote",
+		Entries: r.currItems(),
+		Hits:    r.hits.Load(),
+		Misses:  r.misses.Load(),
+		Sets:    r.sets.Load(),
+		Errors:  r.getErrs.Load() + r.setErrs.Load(),
 	}}
+}
+
+// statsRefresh is the minimum interval between server-side `stats`
+// round trips.
+const statsRefresh = time.Second
+
+// currItems returns the cached server-side entry count, refreshing it
+// from the servers when the cache is stale.
+func (r *Remote) currItems() int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	now := time.Now()
+	if r.closed.Load() || (!r.statsAt.IsZero() && now.Sub(r.statsAt) < statsRefresh) {
+		return r.statsEntries
+	}
+	r.statsAt = now
+	total, reached := 0, false
+	for _, srv := range r.servers {
+		n, err := r.serverCurrItems(srv)
+		if err != nil {
+			continue
+		}
+		reached = true
+		total += n
+	}
+	if reached {
+		r.statsEntries = total
+	}
+	return r.statsEntries
+}
+
+// serverCurrItems issues one `stats` command to srv and returns its
+// curr_items figure.  Unknown STAT lines are skipped.
+func (r *Remote) serverCurrItems(srv *remoteServer) (int, error) {
+	if !srv.alive(time.Now()) {
+		return 0, errors.New("resultstore: remote cache server quarantined")
+	}
+	_, conn, err := r.connect([]*remoteServer{srv})
+	if err != nil {
+		return 0, err
+	}
+	conn.SetDeadline(time.Now().Add(r.cfg.OpTimeout))
+	if _, err := conn.Write([]byte("stats\r\n")); err != nil {
+		r.discard(srv, conn)
+		return 0, fmt.Errorf("resultstore: remote stats %s: %w", srv.addr, err)
+	}
+	items := 0
+	for {
+		line, err := conn.r.ReadString('\n')
+		if err != nil {
+			r.discard(srv, conn)
+			return 0, fmt.Errorf("resultstore: remote stats %s: %w", srv.addr, err)
+		}
+		line = trimCRLF(line)
+		if line == "END" {
+			break
+		}
+		if !strings.HasPrefix(line, "STAT ") {
+			r.discard(srv, conn)
+			return 0, fmt.Errorf("resultstore: remote stats %s: server answered %q", srv.addr, line)
+		}
+		var n int
+		if _, err := fmt.Sscanf(line, "STAT curr_items %d", &n); err == nil {
+			items = n
+		}
+	}
+	conn.SetDeadline(time.Time{})
+	r.release(srv, conn)
+	return items, nil
 }
 
 // Rotations returns how many operations skipped at least one dead

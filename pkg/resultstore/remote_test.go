@@ -306,3 +306,33 @@ func TestRemoteOversizedValueRejected(t *testing.T) {
 		t.Errorf("oversized value reached the server (%d sets)", n)
 	}
 }
+
+// TestRemoteStatsEntries pins that Stats reports the server-side entry
+// count: the sum of `stats` curr_items across live servers, so capacity
+// dashboards see the shared tier's population instead of a constant 0.
+func TestRemoteStatsEntries(t *testing.T) {
+	a, b := memcachetest.Start(t), memcachetest.Start(t)
+	r := newRemote(t, RemoteConfig{Servers: []string{a.Addr(), b.Addr()}})
+	for i := 0; i < 5; i++ {
+		mustSet(t, r, fmt.Sprintf("key-%d", i), "value")
+	}
+	if st := r.Stats()[0]; st.Entries != 5 {
+		t.Fatalf("Entries = %d, want 5 (curr_items summed across servers)", st.Entries)
+	}
+}
+
+// TestRemoteStatsEntriesCached pins the 1s stats cache: a second Stats
+// call inside the refresh window reuses the last count instead of
+// re-querying every server.
+func TestRemoteStatsEntriesCached(t *testing.T) {
+	srv := memcachetest.Start(t)
+	r := newRemote(t, RemoteConfig{Servers: []string{srv.Addr()}})
+	mustSet(t, r, "one", "value")
+	if st := r.Stats()[0]; st.Entries != 1 {
+		t.Fatalf("Entries = %d, want 1", st.Entries)
+	}
+	mustSet(t, r, "two", "value")
+	if st := r.Stats()[0]; st.Entries != 1 {
+		t.Fatalf("Entries = %d inside the refresh window, want the cached 1", st.Entries)
+	}
+}

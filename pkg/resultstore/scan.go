@@ -1,0 +1,187 @@
+package resultstore
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"sort"
+)
+
+// Scanner is the optional capability of enumerating a store's live key
+// set — the keys a Get would currently hit, after newest-wins overwrite
+// resolution and eviction.  Memory, Disk and Tiered implement it; Remote
+// does not (the memcached protocol has no sane key enumeration), so
+// callers discover the capability with ScanKeys and fall back to a peer
+// that has it.  The filter restricts the result to keys the caller cares
+// about (typically "hashes to my ring slice"); nil means every key.
+type Scanner interface {
+	Keys(ctx context.Context, filter func(key string) bool) ([]string, error)
+}
+
+// ErrScanUnsupported reports that a store (or every tier of a tiered
+// store) cannot enumerate its keys.
+var ErrScanUnsupported = errors.New("resultstore: store does not support key enumeration")
+
+// ScanKeys enumerates s's live keys when the store supports it.
+// ok=false means the capability is absent (s is not a Scanner, or is a
+// Tiered store with no scannable tier); err then wraps
+// ErrScanUnsupported.  The returned order is unspecified.
+func ScanKeys(ctx context.Context, s Store, filter func(key string) bool) (keys []string, ok bool, err error) {
+	sc, isScanner := s.(Scanner)
+	if !isScanner {
+		return nil, false, ErrScanUnsupported
+	}
+	keys, err = sc.Keys(ctx, filter)
+	if errors.Is(err, ErrScanUnsupported) {
+		return nil, false, err
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	return keys, true, nil
+}
+
+// Keys enumerates the live key set of the memory tier.
+func (m *Memory) Keys(_ context.Context, filter func(key string) bool) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errClosed
+	}
+	out := make([]string, 0, len(m.entries))
+	for k := range m.entries {
+		if filter == nil || filter(k) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Keys enumerates the live key set of the disk store: exactly the keys a
+// Get would hit, after newest-wins replay resolution and whole-segment
+// eviction.  The index snapshot is taken under the read lock, so a scan
+// concurrent with compaction still sees the full live set — compaction
+// copies records without changing which keys are live.
+func (d *Disk) Keys(_ context.Context, filter func(key string) bool) ([]string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, errClosed
+	}
+	out := make([]string, 0, len(d.index))
+	for k := range d.index {
+		if filter == nil || filter(k) {
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// Keys enumerates the union of the scannable tiers' live key sets.  A
+// tier without the capability is skipped (a Memory-over-Remote store
+// scans as just its memory tier); if no tier is scannable the error
+// wraps ErrScanUnsupported.  A scannable tier's failure surfaces only
+// when every scannable tier failed, mirroring Peek's degraded contract.
+func (t *Tiered) Keys(ctx context.Context, filter func(key string) bool) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	var firstErr error
+	scannable, succeeded := 0, 0
+	for _, tier := range []Store{t.front, t.back} {
+		sc, isScanner := tier.(Scanner)
+		if !isScanner {
+			continue
+		}
+		scannable++
+		keys, err := sc.Keys(ctx, filter)
+		if err != nil {
+			if errors.Is(err, ErrScanUnsupported) {
+				scannable--
+				continue
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		succeeded++
+		for _, k := range keys {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	if scannable == 0 {
+		return nil, ErrScanUnsupported
+	}
+	if succeeded == 0 {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Digest summarizes a key set for anti-entropy comparison: the key
+// count plus an order-independent XOR fold of each key's FNV-1a hash.
+// Two stores whose digests match hold the same key set with
+// overwhelming probability; a mismatch pins down which bucket to pull.
+type Digest struct {
+	Count int    `json:"count"`
+	Sum   uint64 `json:"sum"`
+}
+
+// KeyDigest folds keys into one order-independent digest.
+func KeyDigest(keys []string) Digest {
+	d := Digest{Count: len(keys)}
+	for _, k := range keys {
+		d.Sum ^= hashKey64(k)
+	}
+	return d
+}
+
+// DefaultDigestBuckets is the bucket count anti-entropy digests use
+// when the caller passes buckets < 1.  64 keeps a differing slice's
+// repair pull to ~1/64 of the key space.
+const DefaultDigestBuckets = 64
+
+// BucketOf places key into one of buckets fixed hash-space slices.  The
+// placement is a pure function of the key, independent of ring
+// membership, so two replicas always agree on which bucket a key is in.
+func BucketOf(key string, buckets int) int {
+	if buckets < 1 {
+		buckets = DefaultDigestBuckets
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(buckets))
+}
+
+// BucketDigests splits keys into buckets fixed hash-space slices and
+// digests each independently, so anti-entropy can find *where* two
+// stores diverge and pull only that slice.
+func BucketDigests(keys []string, buckets int) []Digest {
+	if buckets < 1 {
+		buckets = DefaultDigestBuckets
+	}
+	out := make([]Digest, buckets)
+	for _, k := range keys {
+		b := BucketOf(k, buckets)
+		out[b].Count++
+		out[b].Sum ^= hashKey64(k)
+	}
+	return out
+}
+
+// SortKeys sorts keys in place and returns them — scan order is
+// unspecified, so anything comparing or serving enumerations sorts
+// first for determinism.
+func SortKeys(keys []string) []string {
+	sort.Strings(keys)
+	return keys
+}
+
+func hashKey64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

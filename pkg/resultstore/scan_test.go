@@ -1,0 +1,181 @@
+package resultstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/memcachetest"
+)
+
+// scannedSorted enumerates s via ScanKeys and returns the sorted keys,
+// failing the test when the capability is absent or the scan errors.
+func scannedSorted(t *testing.T, s Store, filter func(string) bool) []string {
+	t.Helper()
+	keys, ok, err := ScanKeys(ctx, s, filter)
+	if !ok || err != nil {
+		t.Fatalf("ScanKeys = ok %v err %v, want a scannable store", ok, err)
+	}
+	return SortKeys(keys)
+}
+
+func TestScanKeysRemoteUnsupported(t *testing.T) {
+	srv := memcachetest.Start(t)
+	r := newRemote(t, RemoteConfig{Servers: []string{srv.Addr()}})
+	mustSet(t, r, "key", "value")
+	keys, ok, err := ScanKeys(ctx, r, nil)
+	if ok {
+		t.Fatalf("remote store claims the Scanner capability (keys=%v)", keys)
+	}
+	if err == nil {
+		t.Fatal("ScanKeys on remote: want ErrScanUnsupported, got nil error")
+	}
+}
+
+func TestScanKeysMemoryEviction(t *testing.T) {
+	m := NewMemory(2)
+	mustSet(t, m, "a", "1")
+	mustSet(t, m, "b", "2")
+	mustSet(t, m, "c", "3") // evicts a (LRU)
+	got := scannedSorted(t, m, nil)
+	want := []string{"b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("keys after eviction = %v, want %v", got, want)
+	}
+}
+
+func TestScanKeysFilter(t *testing.T) {
+	m := NewMemory(16)
+	for i := 0; i < 6; i++ {
+		mustSet(t, m, fmt.Sprintf("key-%d", i), "v")
+	}
+	got := scannedSorted(t, m, func(k string) bool { return k == "key-2" || k == "key-4" })
+	want := []string{"key-2", "key-4"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("filtered keys = %v, want %v", got, want)
+	}
+}
+
+// TestScanKeysTieredSkipsRemoteTier pins the warm-up fallback shape: a
+// memory-over-remote store scans as just its memory tier instead of
+// refusing outright.
+func TestScanKeysTieredSkipsRemoteTier(t *testing.T) {
+	srv := memcachetest.Start(t)
+	remote := newRemote(t, RemoteConfig{Servers: []string{srv.Addr()}})
+	s := NewTiered(NewMemory(16), remote)
+	mustSet(t, s, "both", "v") // write-through: memory + remote
+	if err := remote.Set(ctx, "remote-only", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got := scannedSorted(t, s, nil)
+	want := []string{"both"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tiered-over-remote keys = %v, want just the memory tier %v", got, want)
+	}
+}
+
+// TestScanKeysDiskDuringCompaction hammers Keys concurrently with
+// overwrites and explicit compaction: every snapshot must be a
+// consistent live set — all live keys present exactly once — because
+// compaction copies records without changing which keys are live.
+func TestScanKeysDiskDuringCompaction(t *testing.T) {
+	d := openDisk(t, t.TempDir(), DiskConfig{SegmentBytes: 512, MaxBytes: 1 << 20})
+	const keys = 8
+	for i := 0; i < keys; i++ {
+		mustSet(t, d, fmt.Sprintf("key-%d", i), "seed-value-padding-padding")
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // overwrite churn seals segments and strands garbage
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := d.Set(ctx, fmt.Sprintf("key-%d", i%keys), []byte(fmt.Sprintf("round-%d-padding-padding", i))); err != nil {
+				t.Errorf("Set: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := d.CompactOnce(0.99); err != nil {
+				t.Errorf("CompactOnce: %v", err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 50; round++ {
+		got := scannedSorted(t, d, nil)
+		if len(got) != keys {
+			t.Fatalf("round %d: scanned %d keys (%v), want %d", round, len(got), got, keys)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("round %d: duplicate key %q", round, got[i])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestKeyDigestOrderIndependent(t *testing.T) {
+	a := KeyDigest([]string{"x", "y", "z"})
+	b := KeyDigest([]string{"z", "x", "y"})
+	if a != b {
+		t.Fatalf("digest depends on order: %+v != %+v", a, b)
+	}
+	if a == KeyDigest([]string{"x", "y"}) {
+		t.Fatal("digest blind to a missing key")
+	}
+	if a.Count != 3 {
+		t.Fatalf("count = %d, want 3", a.Count)
+	}
+}
+
+func TestBucketDigestsLocalizeDivergence(t *testing.T) {
+	const buckets = 16
+	var keys []string
+	for i := 0; i < 200; i++ {
+		keys = append(keys, fmt.Sprintf("key-%d", i))
+	}
+	full := BucketDigests(keys, buckets)
+	missing := keys[17] // drop one key; only its bucket may differ
+	partial := BucketDigests(append(append([]string(nil), keys[:17]...), keys[18:]...), buckets)
+	diverged := 0
+	for b := range full {
+		if full[b] != partial[b] {
+			diverged++
+			if b != BucketOf(missing, buckets) {
+				t.Errorf("bucket %d diverged, but the missing key hashes to %d", b, BucketOf(missing, buckets))
+			}
+		}
+	}
+	if diverged != 1 {
+		t.Fatalf("%d buckets diverged, want exactly 1", diverged)
+	}
+}
+
+func TestBucketOfStable(t *testing.T) {
+	for _, key := range []string{"", "a", "key-123", "longer-key-with-content"} {
+		b := BucketOf(key, 64)
+		if b < 0 || b >= 64 {
+			t.Fatalf("BucketOf(%q) = %d out of range", key, b)
+		}
+		if BucketOf(key, 64) != b {
+			t.Fatalf("BucketOf(%q) unstable", key)
+		}
+	}
+}

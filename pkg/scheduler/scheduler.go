@@ -74,6 +74,13 @@ type Config struct {
 	// entries (X-Cache: PARTIAL-ERROR at the server tier) instead of
 	// failing the whole suite.
 	PartialResults bool
+	// HintLimit enables hinted handoff: up to this many write-throughs
+	// per quarantined member are buffered and replayed into its store
+	// (PUT /v1/store/entries/{key}) on reinstatement, so the member
+	// serves the keys computed during its absence without recompute.
+	// Requires OnMembershipTransition to be wired to
+	// membership.Config.OnTransition.  0 disables.
+	HintLimit int
 }
 
 // Stats are cumulative dispatch counters.
@@ -104,6 +111,15 @@ type Stats struct {
 	BreakerSkips uint64 `json:"breaker_skips"`
 	// Backoffs counts jittered waits slept between retry attempts.
 	Backoffs uint64 `json:"backoffs"`
+	// HintsQueued counts write-throughs buffered for quarantined
+	// members (hinted handoff).
+	HintsQueued uint64 `json:"hints_queued"`
+	// HintsReplayed counts buffered writes delivered into a reinstated
+	// member's store.
+	HintsReplayed uint64 `json:"hints_replayed"`
+	// HintsDropped counts buffered writes lost to the per-member bound,
+	// replay failures, or the member's eviction/departure.
+	HintsDropped uint64 `json:"hints_dropped"`
 }
 
 // Scheduler is the multi-node suite frontend: it expands a suite into
@@ -144,6 +160,8 @@ type Scheduler struct {
 	backoffSeconds *obs.Histogram
 	reportDispatch func(node string, err error)
 	partial        bool
+	// hints is the hinted-handoff queue (nil when disabled).
+	hints *hintQueue
 
 	dispatched   atomic.Uint64
 	retried      atomic.Uint64
@@ -187,6 +205,9 @@ func New(eng *frontendsim.Engine, cfg Config) (*Scheduler, error) {
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	if cfg.HintLimit > 0 {
+		s.hints = newHintQueue(cfg.HintLimit, cfg.Replicas, cfg.Backends, cfg.HTTPClient)
 	}
 	s.ring.Store(ring)
 	if cfg.Metrics != nil {
@@ -240,6 +261,18 @@ func (s *Scheduler) registerMetrics(reg *obs.Registry) {
 		obs.TypeCounter, nil, func(emit func([]string, float64)) {
 			emit(nil, float64(s.breakerSkips.Load()))
 		})
+	reg.Sampled("sched_hints_queued_total", "Write-throughs buffered for quarantined members (hinted handoff).",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.Stats().HintsQueued))
+		})
+	reg.Sampled("sched_hints_replayed_total", "Buffered writes delivered into reinstated members' stores.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.Stats().HintsReplayed))
+		})
+	reg.Sampled("sched_hints_dropped_total", "Buffered writes lost to the per-member bound, replay failures, or eviction.",
+		obs.TypeCounter, nil, func(emit func([]string, float64)) {
+			emit(nil, float64(s.Stats().HintsDropped))
+		})
 }
 
 // OnMembershipChange returns a callback for membership.Config.OnChange
@@ -277,7 +310,7 @@ func (s *Scheduler) SetBackends(nodes []string) error {
 
 // Stats returns a snapshot of the cumulative dispatch counters.
 func (s *Scheduler) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Dispatched:   s.dispatched.Load(),
 		Retried:      s.retried.Load(),
 		Coalesced:    s.coalesced.Load(),
@@ -288,6 +321,12 @@ func (s *Scheduler) Stats() Stats {
 		BreakerSkips: s.breakerSkips.Load(),
 		Backoffs:     s.backoffs.Load(),
 	}
+	if s.hints != nil {
+		st.HintsQueued = s.hints.queued.Load()
+		st.HintsReplayed = s.hints.replayed.Load()
+		st.HintsDropped = s.hints.dropped.Load()
+	}
+	return st
 }
 
 // CacheStats returns the scheduler-tier store's per-tier counters (nil
@@ -469,6 +508,7 @@ func (s *Scheduler) DispatchSource(ctx context.Context, req frontendsim.Request)
 			return outcome{}, err
 		}
 		s.cacheSet(runCtx, key, res)
+		s.hintResult(key, res)
 		return outcome{res: res}, nil
 	})
 	if err != nil {
